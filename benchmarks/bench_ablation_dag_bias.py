@@ -1,0 +1,52 @@
+"""Ablation §IV-A — the DAG-specific biases of the Transformer.
+
+Disables DAGRA (reachability-masked attention becomes full attention) and
+DAGPE (depth positional encodings) independently, measuring each one's
+contribution to prediction accuracy.
+"""
+
+from repro.experiments import scenario_grid, stage_corpus
+from repro.predictors import LatencyPredictor, split_dataset
+
+
+def test_ablation_dag_bias(benchmark, profile, save_result):
+    sc = scenario_grid("platform2")[1]
+
+    from repro.experiments.cache import global_cache
+
+    cache = global_cache()
+    key = f"ablation_dag_bias/{profile.name}"
+
+    def run():
+        hit = cache.get(key)
+        if hit:
+            return hit
+        samples = stage_corpus("gpt", sc, profile)
+        split = split_dataset(samples, max(profile.fractions), 0.1,
+                              profile.seed)
+        out = {}
+        for label, overrides in (
+                ("full (DAGRA+DAGPE)", {}),
+                ("no DAGRA", {"use_dagra": False}),
+                ("no DAGPE", {"use_dagpe": False}),
+                ("neither", {"use_dagra": False, "use_dagpe": False})):
+            from dataclasses import replace
+
+            cfg = replace(profile.train_config(),
+                          epochs=min(80, profile.epochs),
+                          patience=min(80, profile.patience))
+            lp = LatencyPredictor("dag_transformer", seed=profile.seed,
+                                  model_overrides=overrides)
+            lp.fit(split.train, split.val, cfg)
+            out[label] = lp.evaluate_mre(split.test)
+        cache.set(key, out)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation — DAG biases of the Transformer (GPT, platform2 "
+             "mesh2 conf1)",
+             f"{'variant':>20s} {'test MRE %':>11s}"]
+    for k, v in out.items():
+        lines.append(f"{k:>20s} {v:11.2f}")
+    save_result("ablation_dag_bias", "\n".join(lines))
+    assert all(v > 0 for v in out.values())

@@ -1,0 +1,49 @@
+"""Fig 2 — latency variation across random parallelization plans.
+
+The paper motivates parallelism-aware prediction by showing that 100
+random execution plans of the same model on the same hardware span a wide
+latency range.  This bench regenerates that series for both benchmarks on
+Platform 2 and reports the spread statistics.
+"""
+
+import numpy as np
+
+from repro.experiments import random_plan_latencies
+from repro.experiments.export import export_series
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+def _summarize(name, lats):
+    lats_ms = np.sort(lats) * 1e3
+    spread = lats_ms.max() / lats_ms.min()
+    lines = [f"Fig 2 — {name}: iteration latency of {len(lats_ms)} random plans",
+             f"  min {lats_ms.min():9.1f} ms   median {np.median(lats_ms):9.1f} ms"
+             f"   max {lats_ms.max():9.1f} ms   max/min {spread:5.2f}x",
+             "  series (ms): " + " ".join(f"{v:.0f}" for v in lats_ms)]
+    return "\n".join(lines), spread
+
+
+def test_fig2_gpt(benchmark, profile, save_result):
+    lats = benchmark.pedantic(
+        lambda: random_plan_latencies("gpt", profile, seed=profile.seed),
+        rounds=1, iterations=1)
+    text, spread = _summarize("GPT-3", lats)
+    save_result("fig2_gpt", text)
+    export_series(lats, RESULTS_DIR / profile.name / "fig2_gpt.csv",
+                  "iteration_latency_s")
+    # the paper's point: plan choice changes latency substantially
+    assert spread > 1.3
+
+
+def test_fig2_moe(benchmark, profile, save_result):
+    lats = benchmark.pedantic(
+        lambda: random_plan_latencies("moe", profile, seed=profile.seed),
+        rounds=1, iterations=1)
+    text, spread = _summarize("MoE", lats)
+    save_result("fig2_moe", text)
+    export_series(lats, RESULTS_DIR / profile.name / "fig2_moe.csv",
+                  "iteration_latency_s")
+    assert spread > 1.3

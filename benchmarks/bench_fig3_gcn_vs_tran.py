@@ -1,0 +1,37 @@
+"""Fig 3 — stage-latency prediction error: GCN vs DAG Transformer.
+
+The motivation figure compares the two models per runtime configuration
+on Platform 2 at a fixed training budget.  Reuses Table-VI cells from the
+results cache when they exist.
+"""
+
+from repro.experiments import mre_grid, scenario_grid
+
+
+def _compare(profile, family):
+    fraction = max(profile.fractions)
+    grid = mre_grid("platform2", family, profile,
+                    kinds=("gcn", "dag_transformer"), fractions=(fraction,))
+    lines = [f"Fig 3 — GCN vs DAG Transformer, {family.upper()} on platform2 "
+             f"(train fraction {fraction:.0%})",
+             f"{'scenario':>16s} {'GCN':>8s} {'Tran':>8s} {'winner':>8s}"]
+    wins = 0
+    for sc in scenario_grid("platform2"):
+        g = grid[(sc.key, fraction, "gcn")]
+        t = grid[(sc.key, fraction, "dag_transformer")]
+        w = "Tran" if t <= g else "GCN"
+        wins += (t <= g)
+        lines.append(f"{sc.label:>16s} {g:8.2f} {t:8.2f} {w:>8s}")
+    return "\n".join(lines), wins
+
+
+def test_fig3_gpt(benchmark, profile, save_result):
+    text, wins = benchmark.pedantic(lambda: _compare(profile, "gpt"),
+                                    rounds=1, iterations=1)
+    save_result("fig3_gpt", text)
+
+
+def test_fig3_moe(benchmark, profile, save_result):
+    text, wins = benchmark.pedantic(lambda: _compare(profile, "moe"),
+                                    rounds=1, iterations=1)
+    save_result("fig3_moe", text)

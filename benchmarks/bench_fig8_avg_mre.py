@@ -1,0 +1,23 @@
+"""Fig 8 — average of MREs per predictor over all (mesh, config) scenarios.
+
+Aggregates the Table V/VI grids (cache hits if those benches ran first)
+per (platform, benchmark).
+"""
+
+from repro.experiments import grid_statistics, mre_grid, render_stats
+
+
+def _avg(profile):
+    blocks = []
+    for platform in ("platform1", "platform2"):
+        for family in ("gpt", "moe"):
+            grid = mre_grid(platform, family, profile)
+            stats = grid_statistics(grid)
+            blocks.append(render_stats(
+                stats, f"Fig 8 — mean MRE, {family.upper()} on {platform}"))
+    return "\n\n".join(blocks)
+
+
+def test_fig8_average_mre(benchmark, profile, save_result):
+    text = benchmark.pedantic(lambda: _avg(profile), rounds=1, iterations=1)
+    save_result("fig8_avg_mre", text)

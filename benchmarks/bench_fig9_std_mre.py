@@ -1,0 +1,29 @@
+"""Fig 9 — standard deviation of MREs per predictor over scenarios.
+
+The paper's stability claim: the DAG Transformer's MRE spread across
+runtime configurations is far smaller than GCN's/GAT's.
+"""
+
+from repro.experiments import grid_statistics, mre_grid, render_stats
+
+
+def _std(profile):
+    blocks = []
+    verdicts = []
+    for platform in ("platform1", "platform2"):
+        for family in ("gpt", "moe"):
+            grid = mre_grid(platform, family, profile)
+            stats = grid_statistics(grid)
+            blocks.append(render_stats(
+                stats, f"Fig 9 — MRE std-dev, {family.upper()} on {platform}"))
+            if {"dag_transformer", "gcn"} <= stats.keys():
+                verdicts.append(stats["dag_transformer"]["std"]
+                                <= stats["gcn"]["std"])
+    summary = (f"\nDAG Transformer std <= GCN std in "
+               f"{sum(verdicts)}/{len(verdicts)} (platform, benchmark) pairs")
+    return "\n\n".join(blocks) + summary
+
+
+def test_fig9_std_mre(benchmark, profile, save_result):
+    text = benchmark.pedantic(lambda: _std(profile), rounds=1, iterations=1)
+    save_result("fig9_std_mre", text)

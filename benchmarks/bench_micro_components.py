@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the framework's hot components.
+
+These use pytest-benchmark's statistical timing (multiple rounds), unlike
+the experiment benches which run once: stage tracing, pruning+fusion,
+reachability closure, intra-op optimization, ground-truth simulation, and
+one predictor inference batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PLATFORM2
+from repro.ir import build_training_graph, fuse_elementwise, prune_graph, reachability_mask
+from repro.models import benchmark_config, build_model
+from repro.parallel import optimize_stage
+from repro.runtime import execute_plan
+
+
+@pytest.fixture(scope="module")
+def gpt4():
+    return build_model(benchmark_config("gpt", n_layers=4))
+
+
+@pytest.fixture(scope="module")
+def stage(gpt4):
+    return gpt4.stage_graph(1, 4)
+
+
+@pytest.fixture(scope="module")
+def training_graph(stage):
+    g, _ = fuse_elementwise(prune_graph(stage), aggressive=True)
+    return build_training_graph(g)
+
+
+def test_trace_stage_graph(benchmark, gpt4):
+    g = benchmark(gpt4.stage_graph, 1, 4)
+    assert len(g) > 100
+
+
+def test_prune_and_fuse(benchmark, stage):
+    def run():
+        g = prune_graph(stage)
+        return fuse_elementwise(g, aggressive=True)[0]
+
+    g = benchmark(run)
+    assert len(g) < len(stage)
+
+
+def test_training_graph_expansion(benchmark, stage):
+    g = benchmark(build_training_graph, stage)
+    assert len(g) > len(stage)
+
+
+def test_reachability_closure(benchmark, training_graph):
+    m = benchmark(reachability_mask, training_graph)
+    assert m.shape[0] == len(training_graph)
+
+
+def test_intra_op_optimization(benchmark, training_graph):
+    lv = PLATFORM2.mesh(3).logical(2, 2)
+    plan = benchmark(optimize_stage, training_graph, lv)
+    assert len(plan.assignments) == len(training_graph)
+
+
+def test_stage_execution_simulation(benchmark, training_graph):
+    lv = PLATFORM2.mesh(2).logical(2, 1)
+    plan = optimize_stage(training_graph, lv)
+    prof = benchmark(execute_plan, plan)
+    assert prof.latency > 0
+
+
+def test_predictor_inference(benchmark, profile):
+    from repro.experiments import scenario_grid, stage_corpus
+    from repro.predictors import LatencyPredictor, TrainConfig, split_dataset
+
+    sc = scenario_grid("platform2")[0]
+    samples = stage_corpus("gpt", sc, profile)
+    split = split_dataset(samples, 0.5, 0.1, profile.seed)
+    lp = LatencyPredictor("dag_transformer", seed=profile.seed)
+    lp.fit(split.train, split.val,
+           TrainConfig(epochs=2, patience=2, batch_size=8))
+    pred = benchmark(lp.predict_samples, split.test)
+    assert np.isfinite(pred).all()

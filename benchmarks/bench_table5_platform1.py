@@ -1,0 +1,30 @@
+"""Table V — MRE grid on Platform 1 (2×A40).
+
+Scenarios: Mesh 1 Conf 1, Mesh 2 Conf 1 (2-way DP), Mesh 2 Conf 2 (2-way
+MP); rows are train-sample fractions, columns GCN/GAT/DAG-Transformer,
+for both benchmarks.
+"""
+
+from repro.experiments import mre_grid, render_mre_table
+from repro.experiments.export import export_mre_grid
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+def _run(benchmark, profile, save_result, family):
+    grid = benchmark.pedantic(
+        lambda: mre_grid("platform1", family, profile), rounds=1, iterations=1)
+    save_result(f"table5_{family}",
+                render_mre_table(grid, "platform1", family, profile.fractions))
+    export_mre_grid(grid, RESULTS_DIR / profile.name / f"table5_{family}.csv")
+    assert grid and all(v > 0 for v in grid.values())
+
+
+def test_table5_gpt(benchmark, profile, save_result):
+    _run(benchmark, profile, save_result, "gpt")
+
+
+def test_table5_moe(benchmark, profile, save_result):
+    _run(benchmark, profile, save_result, "moe")

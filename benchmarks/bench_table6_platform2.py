@@ -1,0 +1,29 @@
+"""Table VI — MRE grid on Platform 2 (2 nodes × 2×RTX A5500).
+
+Six scenarios: meshes 1–3 with the Table-III configurations (up to 4-way
+DP, 2-way DP × 2-way MP, and 4-way MP across nodes).
+"""
+
+from repro.experiments import mre_grid, render_mre_table
+from repro.experiments.export import export_mre_grid
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+def _run(benchmark, profile, save_result, family):
+    grid = benchmark.pedantic(
+        lambda: mre_grid("platform2", family, profile), rounds=1, iterations=1)
+    save_result(f"table6_{family}",
+                render_mre_table(grid, "platform2", family, profile.fractions))
+    export_mre_grid(grid, RESULTS_DIR / profile.name / f"table6_{family}.csv")
+    assert grid and all(v > 0 for v in grid.values())
+
+
+def test_table6_gpt(benchmark, profile, save_result):
+    _run(benchmark, profile, save_result, "gpt")
+
+
+def test_table6_moe(benchmark, profile, save_result):
+    _run(benchmark, profile, save_result, "moe")

@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table or figure of the paper at the
+resolution selected by ``REPRO_PROFILE`` (smoke | fast | paper; default
+fast — see ``repro.experiments.profiles``).  Rendered tables are printed
+and persisted under ``results/<profile>/`` so the figures that aggregate
+them (Fig 3/8/9) and EXPERIMENTS.md can reference them; per-cell MREs are
+memoized in ``.repro_cache`` so re-runs are cheap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import active_profile
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def save_result(profile):
+    """Persist a rendered experiment artifact and echo it to stdout."""
+
+    def _save(name: str, text: str) -> Path:
+        out_dir = RESULTS_DIR / profile.name
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""MoE stage-latency prediction: DAG Transformer vs GCN vs GAT.
+
+Builds the GShard-MoE benchmark (scaled to 2 blocks), profiles every
+candidate stage on three runtime configurations of Platform 2, and
+compares the three predictor families' test MREs per configuration —
+a miniature of the paper's Table VI (MoE half).
+"""
+
+from repro import PLATFORM2, LatencyPredictor, StageSample, TrainConfig, benchmark_config, build_model, cluster_layers
+from repro.predictors import split_dataset
+from repro.runtime import StageProfiler
+
+CONFIGS = [  # (mesh index, dp, mp, label) — Table III
+    (2, 2, 1, "mesh2 conf1 (2-way DP)"),
+    (2, 1, 2, "mesh2 conf2 (2-way MP)"),
+    (3, 2, 2, "mesh3 conf2 (2-way DP x 2-way MP)"),
+]
+
+
+def main() -> None:
+    cfg = benchmark_config("moe", n_layers=2)
+    model = build_model(cfg)
+    clustering = cluster_layers(model, 4)
+    profiler = StageProfiler(model, aggressive_fusion=True)
+    train_cfg = TrainConfig(epochs=60, patience=60, batch_size=8)
+
+    print(f"{model.name}: {model.param_count() / 1e6:.0f} M params, "
+          f"{cfg.n_experts} experts, top-{cfg.router_topk} routing\n")
+    header = f"{'configuration':>34s} " + "".join(
+        f"{k:>10s}" for k in ("GCN", "GAT", "Tran"))
+    print(header)
+
+    for mesh_idx, dp, mp, label in CONFIGS:
+        mesh = PLATFORM2.mesh(mesh_idx)
+        samples = []
+        for mb in (2, 4, 8):
+            for (s, e) in clustering.all_slices():
+                p = profiler.profile_stage(s, e, mesh, dp, mp, microbatch=mb)
+                samples.append(StageSample(p.graph, p.latency, p.stage_id))
+        split = split_dataset(samples, 0.6, 0.1, seed=0)
+        row = f"{label:>34s} "
+        for kind in ("gcn", "gat", "dag_transformer"):
+            lp = LatencyPredictor(kind, seed=0)
+            lp.fit(split.train, split.val, train_cfg)
+            row += f"{lp.evaluate_mre(split.test):9.2f}%"
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

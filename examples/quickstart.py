@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: predict distributed training latency with PredTOP.
+
+Walks the full gray-box pipeline on a small GPT variant:
+
+1. build the model as an operator graph and cluster its layers;
+2. "profile" a sample of pipeline stages on a 2-GPU mesh (the simulated
+   testbed stands in for the paper's A5500 cluster);
+3. train the DAG-Transformer stage-latency predictor;
+4. predict every candidate stage and compose end-to-end iteration latency
+   with the white-box pipeline model (Eqn 4).
+
+Runs in a couple of minutes on one CPU core.
+"""
+
+import numpy as np
+
+from repro import (
+    PLATFORM2,
+    PredTOP,
+    PredTOPConfig,
+    TrainConfig,
+    benchmark_config,
+    build_model,
+    cluster_layers,
+)
+from repro.runtime import StageProfiler, whitebox_latency
+
+SEED = 0
+
+
+def main() -> None:
+    # -- 1. model + stage space ------------------------------------------
+    cfg = benchmark_config("gpt", n_layers=2)  # Table-IV widths, 2 blocks
+    model = build_model(cfg)
+    clustering = cluster_layers(model, 4)
+    print(f"model: {model.name} ({model.param_count() / 1e6:.0f} M params, "
+          f"{model.n_layers} layers -> {clustering.n_units} units, "
+          f"{len(clustering.all_slices())} candidate stages)")
+
+    # -- 2 & 3. profile a sample and train the predictor ------------------
+    mesh = PLATFORM2.mesh(2)  # one node, 2x RTX A5500 over NVLink
+    predtop = PredTOP(
+        model, clustering, mesh,
+        PredTOPConfig(
+            sample_fraction=0.8,
+            train=TrainConfig(epochs=150, patience=150, batch_size=4,
+                              lr=2e-3),
+            seed=SEED,
+        ),
+        profiler=StageProfiler(model, aggressive_fusion=True),
+    )
+    profiled = predtop.profiling_phase(dp=2, mp=1)  # 2-way data parallel
+    print(f"profiled {len(profiled)} sampled stages "
+          f"(simulated cost {predtop.costs.profiling_seconds:.0f}s)")
+    predtop.training_phase()
+    print(f"trained {predtop.config.predictor_kind} in "
+          f"{predtop.costs.training_seconds:.0f}s wall")
+
+    # -- 4. predict all stages + white-box composition --------------------
+    predictions = predtop.prediction_phase()
+    profiler = predtop.profiler
+    print("\nper-stage prediction vs simulated ground truth:")
+    errs = []
+    for (s, e), pred in sorted(predictions.items()):
+        true = profiler.profile_stage(s, e, mesh, 2, 1).latency
+        errs.append(abs(pred - true) / true)
+        print(f"  layers [{s:2d},{e:2d})  pred {pred * 1e3:8.2f} ms   "
+              f"true {true * 1e3:8.2f} ms   err {errs[-1] * 100:6.2f}%")
+    print(f"MRE over all stages: {np.mean(errs) * 100:.2f}%")
+
+    # compose a 2-stage pipeline plan with Eqn 4
+    half = clustering.slice_range(0, 2)
+    rest = clustering.slice_range(2, clustering.n_units)
+    stage_times = [predictions[half], predictions[rest]]
+    T = whitebox_latency(stage_times, n_microbatches=8)
+    print(f"\npredicted iteration latency of a 2-stage pipeline "
+          f"(B=8): {T * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Populate the experiment results cache chunk by chunk.
+
+The benchmark suite memoizes every cell in ``.repro_cache``; this driver
+lets long grids be filled in resumable pieces:
+
+    python scripts/populate_cache.py table platform2 gpt 0.3
+    python scripts/populate_cache.py table platform1 moe all
+    python scripts/populate_cache.py usecase gpt
+    python scripts/populate_cache.py status
+
+Respects ``REPRO_PROFILE`` like the benches do.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import active_profile, scenario_grid
+from repro.experiments.cache import global_cache
+from repro.experiments.tables import run_cell
+from repro.predictors.base import PREDICTOR_KINDS
+
+
+def fill_table(platform: str, family: str, fraction_arg: str) -> None:
+    profile = active_profile()
+    fractions = (profile.fractions if fraction_arg == "all"
+                 else (float(fraction_arg),))
+    for sc in scenario_grid(platform):
+        for fraction in fractions:
+            for kind in PREDICTOR_KINDS:
+                t0 = time.time()
+                cell = run_cell(family, sc, fraction, kind, profile)
+                print(f"{family}/{sc.key}/f{fraction}/{kind}: "
+                      f"MRE {cell.mre:7.2f}%  ({time.time() - t0:5.1f}s)",
+                      flush=True)
+
+
+def fill_usecase(family: str) -> None:
+    from repro.experiments import run_use_case
+
+    profile = active_profile()
+    result = run_use_case(family, profile)
+    global_cache().set(
+        f"usecase/{profile.name}/{family}",
+        {a: {"cost": r.optimization_cost,
+             "latency": r.true_iteration_latency,
+             "stages": r.plan.n_stages}
+         for a, r in result.results.items()})
+    for a, r in result.results.items():
+        print(f"{family}/{a}: cost {r.optimization_cost:9.1f}s "
+              f"latency {r.true_iteration_latency * 1e3:9.1f}ms", flush=True)
+
+
+def status() -> None:
+    cache = global_cache()
+    keys = sorted(cache._data)
+    print(f"{len(keys)} cached entries")
+    for k in keys:
+        print(" ", k)
+
+
+def main() -> None:
+    cmd = sys.argv[1] if len(sys.argv) > 1 else "status"
+    if cmd == "table":
+        fill_table(sys.argv[2], sys.argv[3], sys.argv[4])
+    elif cmd == "usecase":
+        fill_usecase(sys.argv[2])
+    elif cmd == "status":
+        status()
+    else:
+        raise SystemExit(f"unknown command {cmd!r}")
+
+
+if __name__ == "__main__":
+    main()
+
+

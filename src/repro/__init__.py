@@ -1,0 +1,33 @@
+"""PredTOP reproduction: gray-box latency prediction for distributed DL
+training with operator parallelism (Acharya & Shu, IPPS 2025).
+
+Top-level convenience imports cover the quickstart path:
+
+>>> from repro import (benchmark_config, build_model, cluster_layers,
+...                    PLATFORM2, StageProfiler, PredTOP, PredTOPConfig)
+"""
+
+from .cluster import PLATFORM1, PLATFORM2, DeviceMesh, Platform, get_platform
+from .core import PredTOP, PredTOPConfig, PlanSearcher, SearchResult
+from .models import (
+    GPT3_1_3B,
+    MOE_2_6B,
+    ModelConfig,
+    benchmark_config,
+    build_model,
+    cluster_layers,
+)
+from .predictors import LatencyPredictor, StageSample, TrainConfig
+from .runtime import StageProfiler, simulated_latency, whitebox_latency
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PLATFORM1", "PLATFORM2", "Platform", "get_platform", "DeviceMesh",
+    "ModelConfig", "GPT3_1_3B", "MOE_2_6B", "benchmark_config",
+    "build_model", "cluster_layers",
+    "StageProfiler", "whitebox_latency", "simulated_latency",
+    "LatencyPredictor", "StageSample", "TrainConfig",
+    "PredTOP", "PredTOPConfig", "PlanSearcher", "SearchResult",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``     — platforms, meshes, benchmark specs, experiment profiles;
+* ``profile``  — simulate one stage on one runtime configuration;
+* ``predict``  — train a predictor on sampled stages and predict them all
+  (optionally persisting the trained predictor);
+* ``search``   — run the plan-search use case with a chosen approach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cluster.platforms import MESH_CONFIGS, PARALLEL_CONFIGS, PLATFORMS, get_platform
+from .models.clustering import cluster_layers
+from .models.configs import BENCHMARKS, benchmark_config
+from .models.model import build_model
+from .predictors.trainer import TrainConfig
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--family", choices=sorted(BENCHMARKS), default="gpt",
+                   help="benchmark model family")
+    p.add_argument("--layers", type=int, default=2,
+                   help="transformer block count (0 = full Table-IV depth)")
+    p.add_argument("--platform", choices=sorted(PLATFORMS),
+                   default="platform2")
+    p.add_argument("--units", type=int, default=4,
+                   help="layer-clustering units (stage boundaries)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _build(args):
+    from .runtime.profiler import StageProfiler
+
+    cfg = benchmark_config(args.family, args.layers or None)
+    model = build_model(cfg)
+    clustering = cluster_layers(model, args.units)
+    profiler = StageProfiler(model, aggressive_fusion=True)
+    return model, clustering, profiler
+
+
+def cmd_info(args) -> int:
+    print("platforms:")
+    for name, plat in sorted(PLATFORMS.items()):
+        print(f"  {name}: {plat.n_nodes} node(s) x {plat.gpus_per_node}x "
+              f"{plat.gpu.name}, intra={plat.intra_link.name}, "
+              f"inter={plat.inter_link.name}")
+    print("\nTable-II meshes:", MESH_CONFIGS)
+    print("Table-III configs:", PARALLEL_CONFIGS)
+    print("\nbenchmarks:")
+    for name, cfg in sorted(BENCHMARKS.items()):
+        model = build_model(cfg)
+        print(f"  {name}: {cfg.name} — {model.param_count() / 1e9:.2f} B "
+              f"params, seq {cfg.seq_len}, hidden {cfg.hidden}, "
+              f"{cfg.n_layers} layers, {cfg.n_heads} heads")
+    from .experiments.profiles import PROFILES
+
+    print("\nexperiment profiles:")
+    for name, prof in sorted(PROFILES.items()):
+        print(f"  {name}: {prof.epochs} epochs, fractions {prof.fractions}, "
+              f"gpt_layers={prof.gpt_layers}, units={prof.gpt_units}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    model, clustering, profiler = _build(args)
+    platform = get_platform(args.platform)
+    mesh = platform.mesh(args.mesh)
+    start, end = clustering.slice_range(args.unit_start, args.unit_end)
+    p = profiler.profile_stage(start, end, mesh, args.dp, args.mp,
+                               microbatch=args.microbatch or None)
+    prof = p.profile
+    print(f"stage {p.stage_id} on {mesh} (dp={args.dp}, mp={args.mp})")
+    print(f"  latency       {p.latency * 1e3:10.3f} ms")
+    print(f"  compute       {prof.compute_time * 1e3:10.3f} ms")
+    print(f"  collectives   {prof.comm_time * 1e3:10.3f} ms")
+    print(f"  resharding    {prof.reshard_time * 1e3:10.3f} ms")
+    print(f"  memory/GPU    {prof.memory_bytes / 1e9:10.2f} GB")
+    print(f"  graph nodes   {prof.n_nodes:10d}")
+    print(f"  profiling cost{p.profiling_cost:10.1f} s (simulated)")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from .core.predtop import PredTOP, PredTOPConfig
+    from .predictors.serialize import save_predictor
+
+    model, clustering, profiler = _build(args)
+    platform = get_platform(args.platform)
+    mesh = platform.mesh(args.mesh)
+    predtop = PredTOP(
+        model, clustering, mesh,
+        PredTOPConfig(
+            predictor_kind=args.predictor,
+            sample_fraction=args.sample_fraction,
+            train=TrainConfig(epochs=args.epochs, patience=args.epochs,
+                              batch_size=8, lr=2e-3, seed=args.seed),
+            seed=args.seed,
+        ),
+        profiler=profiler,
+    )
+    preds = predtop.run_all_phases(dp=args.dp, mp=args.mp)
+    print(f"{'stage':>12s} {'predicted':>12s} {'profiled':>12s} {'err':>8s}")
+    errs = []
+    for (s, e), pred in sorted(preds.items()):
+        true = profiler.profile_stage(s, e, mesh, args.dp, args.mp).latency
+        err = abs(pred - true) / true
+        errs.append(err)
+        print(f"  [{s:3d},{e:3d}) {pred * 1e3:10.2f}ms {true * 1e3:10.2f}ms "
+              f"{err * 100:7.2f}%")
+    print(f"\nMRE {100 * sum(errs) / len(errs):.2f}%  |  costs: "
+          f"profiling {predtop.costs.profiling_seconds:.0f}s (simulated), "
+          f"training {predtop.costs.training_seconds:.0f}s, "
+          f"inference {predtop.costs.inference_seconds:.2f}s")
+    if args.save:
+        path = save_predictor(predtop.predictor, args.save)
+        print(f"predictor saved to {path}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from .core.search import APPROACHES, PlanSearcher
+
+    model, clustering, profiler = _build(args)
+    platform = get_platform(args.platform)
+    searcher = PlanSearcher(
+        model, clustering, platform.cluster(),
+        n_microbatches=args.microbatches,
+        profiler=profiler,
+        sample_fraction=args.sample_fraction,
+        train_config=TrainConfig(epochs=args.epochs, patience=args.epochs,
+                                 batch_size=8, lr=2e-3, seed=args.seed),
+        seed=args.seed,
+    )
+    approaches = APPROACHES if args.approach == "all" else (args.approach,)
+    for approach in approaches:
+        r = searcher.run(approach)
+        print(f"== {approach}")
+        print(r.plan.describe())
+        print(f"   optimization cost {r.optimization_cost:9.1f} s, "
+              f"true latency {r.true_iteration_latency * 1e3:8.1f} ms\n")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PredTOP reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list platforms, benchmarks, profiles")
+
+    p = sub.add_parser("profile", help="simulate one stage measurement")
+    _add_model_args(p)
+    p.add_argument("--mesh", type=int, default=2, choices=sorted(MESH_CONFIGS))
+    p.add_argument("--dp", type=int, default=2)
+    p.add_argument("--mp", type=int, default=1)
+    p.add_argument("--unit-start", type=int, default=0)
+    p.add_argument("--unit-end", type=int, default=1)
+    p.add_argument("--microbatch", type=int, default=0)
+
+    p = sub.add_parser("predict", help="train a predictor, predict all stages")
+    _add_model_args(p)
+    p.add_argument("--mesh", type=int, default=2, choices=sorted(MESH_CONFIGS))
+    p.add_argument("--dp", type=int, default=2)
+    p.add_argument("--mp", type=int, default=1)
+    p.add_argument("--predictor", default="dag_transformer",
+                   choices=("dag_transformer", "gcn", "gat"))
+    p.add_argument("--sample-fraction", type=float, default=0.6)
+    p.add_argument("--epochs", type=int, default=60)
+    p.add_argument("--save", default="", help="save trained predictor (.npz)")
+
+    p = sub.add_parser("search", help="plan-search use case (Fig 10)")
+    _add_model_args(p)
+    p.add_argument("--approach", default="all",
+                   choices=("all", "full", "partial",
+                            "predtop-dag_transformer", "predtop-gcn",
+                            "predtop-gat"))
+    p.add_argument("--microbatches", type=int, default=8)
+    p.add_argument("--sample-fraction", type=float, default=0.5)
+    p.add_argument("--epochs", type=int, default=40)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return {"info": cmd_info, "profile": cmd_profile,
+            "predict": cmd_predict, "search": cmd_search}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Cluster substrate: GPUs, interconnects, meshes, collective cost models."""
+
+from .collectives import (
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    broadcast_time,
+    p2p_time,
+    reducescatter_time,
+)
+from .gpu import A40, GPUS, RTX_A5500, GPUSpec
+from .mesh import DeviceMesh, LogicalMesh, enumerate_submeshes, logical_views
+from .network import IB100, LINKS, NVLINK, PCIE4, TEN_GBE, LinkSpec
+from .platforms import (
+    MESH_CONFIGS,
+    PARALLEL_CONFIGS,
+    PLATFORM1,
+    PLATFORM2,
+    PLATFORMS,
+    Platform,
+    get_platform,
+)
+
+__all__ = [
+    "GPUSpec", "A40", "RTX_A5500", "GPUS",
+    "LinkSpec", "NVLINK", "PCIE4", "TEN_GBE", "IB100", "LINKS",
+    "DeviceMesh", "LogicalMesh", "enumerate_submeshes", "logical_views",
+    "allreduce_time", "allgather_time", "reducescatter_time",
+    "alltoall_time", "p2p_time", "broadcast_time",
+    "Platform", "PLATFORM1", "PLATFORM2", "PLATFORMS", "get_platform",
+    "MESH_CONFIGS", "PARALLEL_CONFIGS",
+]

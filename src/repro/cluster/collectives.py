@@ -1,0 +1,77 @@
+"""α-β cost models for the collectives tensor parallelism emits.
+
+All models assume ring algorithms (what NCCL uses at these scales) over
+``p`` ranks connected by a given link class:
+
+* all-reduce:      ``2·(p-1)/p · n/β  +  2·(p-1)·α``
+* all-gather:      ``(p-1)/p · n/β  +  (p-1)·α``   (n = full result bytes)
+* reduce-scatter:  same as all-gather
+* all-to-all:      ``(p-1)/p · n/β  +  (p-1)·α``
+* broadcast / p2p: ``α + n/β``
+
+Costs are in seconds; ``p == 1`` is free.  These forms give the right
+asymptotics (bandwidth-bound for large n, latency-bound for small n) and,
+more importantly for the paper's experiments, the right *ordering* between
+NVLink-only and cross-node configurations.
+"""
+
+from __future__ import annotations
+
+from .network import LinkSpec
+
+
+def _check(nbytes: float, p: int) -> None:
+    if nbytes < 0:
+        raise ValueError(f"negative transfer size {nbytes}")
+    if p < 1:
+        raise ValueError(f"bad group size {p}")
+
+
+def allreduce_time(link: LinkSpec, nbytes: float, p: int) -> float:
+    """Ring all-reduce of an ``nbytes`` tensor across ``p`` ranks."""
+    _check(nbytes, p)
+    if p == 1 or nbytes == 0:
+        return 0.0
+    steps = 2 * (p - 1)
+    return steps * link.alpha + steps / p * (nbytes / link.beta)
+
+
+def allgather_time(link: LinkSpec, nbytes: float, p: int) -> float:
+    """Ring all-gather; ``nbytes`` is the size of the *gathered* result."""
+    _check(nbytes, p)
+    if p == 1 or nbytes == 0:
+        return 0.0
+    steps = p - 1
+    return steps * link.alpha + steps / p * (nbytes / link.beta)
+
+
+def reducescatter_time(link: LinkSpec, nbytes: float, p: int) -> float:
+    """Ring reduce-scatter; ``nbytes`` is the size of the *input* tensor."""
+    return allgather_time(link, nbytes, p)
+
+
+def alltoall_time(link: LinkSpec, nbytes: float, p: int) -> float:
+    """All-to-all of ``nbytes`` total payload per rank (MoE dispatch)."""
+    _check(nbytes, p)
+    if p == 1 or nbytes == 0:
+        return 0.0
+    steps = p - 1
+    return steps * link.alpha + steps / p * (nbytes / link.beta)
+
+
+def p2p_time(link: LinkSpec, nbytes: float) -> float:
+    """Point-to-point send of ``nbytes`` (pipeline stage boundary)."""
+    if nbytes <= 0:
+        return 0.0
+    return link.transfer_time(nbytes)
+
+
+def broadcast_time(link: LinkSpec, nbytes: float, p: int) -> float:
+    """Tree broadcast to ``p`` ranks."""
+    _check(nbytes, p)
+    if p == 1 or nbytes == 0:
+        return 0.0
+    import math
+
+    rounds = math.ceil(math.log2(p))
+    return rounds * (link.alpha + nbytes / link.beta)

@@ -1,0 +1,75 @@
+"""GPU device model.
+
+Analytical stand-in for the two GPU SKUs in §VII-A.  Peak numbers follow
+the vendor datasheets; the effective-throughput knobs (efficiency curves,
+launch overhead) are calibrated so simulated stage latencies exhibit the
+same qualitative regimes as profiled kernels: small ops are launch-bound,
+skinny matmuls lose tile efficiency, elementwise ops are bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static per-device capabilities."""
+
+    name: str
+    #: peak dense FP32 throughput via the tensor-core TF32 path, FLOP/s
+    peak_flops: float
+    #: HBM/GDDR bandwidth, bytes/s
+    mem_bandwidth: float
+    #: device memory, bytes
+    mem_capacity: float
+    #: fixed cost per kernel launch, seconds
+    launch_overhead: float
+    #: matmul tile edge used for quantization-efficiency modeling
+    tile: int = 128
+
+    def matmul_efficiency(self, m: int, n: int, k: int) -> float:
+        """Fraction of peak achieved by an (m, k) x (k, n) GEMM.
+
+        Two effects dominate profiled GEMM behaviour and are modeled here:
+
+        * **tile quantization** — each output dimension is processed in
+          ``tile``-wide blocks; partial blocks waste lanes;
+        * **low occupancy** — small products cannot fill the SMs, scaling
+          roughly with the ratio of the work to a saturation threshold.
+        """
+        quant = 1.0
+        for d in (m, n):
+            blocks = -(-d // self.tile)
+            quant *= d / (blocks * self.tile)
+        # K-dim pipeline efficiency: short accumulations pay setup cost.
+        quant *= k / (k + 64.0)
+        work = 2.0 * m * n * k
+        saturation = work / (work + 2.0e9)  # ~half peak at 2 GFLOP of work
+        return max(0.02, 0.92 * quant * (0.25 + 0.75 * saturation))
+
+    def elementwise_bandwidth(self, nbytes: float) -> float:
+        """Achieved bytes/s for a streaming kernel touching ``nbytes``."""
+        frac = nbytes / (nbytes + 8.0e6)  # small kernels underutilize DRAM
+        return self.mem_bandwidth * max(0.08, 0.9 * frac)
+
+
+#: Nvidia A40 (Platform 1): 48 GB GDDR6, 696 GB/s, ~37.4 TFLOP/s TF32.
+A40 = GPUSpec(
+    name="A40",
+    peak_flops=37.4e12,
+    mem_bandwidth=696e9,
+    mem_capacity=48 * 1024**3,
+    launch_overhead=6.0e-6,
+)
+
+#: Nvidia RTX A5500 (Platform 2): 24 GB GDDR6, 768 GB/s, ~34.1 TFLOP/s.
+RTX_A5500 = GPUSpec(
+    name="RTX_A5500",
+    peak_flops=34.1e12,
+    mem_bandwidth=768e9,
+    mem_capacity=24 * 1024**3,
+    launch_overhead=6.5e-6,
+)
+
+GPUS = {g.name: g for g in (A40, RTX_A5500)}

@@ -1,0 +1,130 @@
+"""Device meshes and logical views.
+
+A :class:`DeviceMesh` is a homogeneous ``nodes × gpus_per_node`` slice of
+the cluster (Table II).  Intra-stage parallelism sees it through a
+:class:`LogicalMesh` — a 2-D ``(dp, mp)`` arrangement of the same devices
+(Table III) whose axes carry the physical link class they stride across.
+Following the paper we only consider homogeneous meshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gpu import GPUSpec
+from .network import LinkSpec
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """A physical mesh: ``n_nodes`` hosts with ``gpus_per_node`` GPUs each."""
+
+    n_nodes: int
+    gpus_per_node: int
+    gpu: GPUSpec
+    intra_link: LinkSpec
+    inter_link: LinkSpec
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError("mesh must contain at least one device")
+
+    @property
+    def num_devices(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_nodes, self.gpus_per_node)
+
+    def key(self) -> str:
+        """Stable identifier used to key per-mesh predictors and noise."""
+        return (f"{self.n_nodes}x{self.gpus_per_node}-{self.gpu.name}"
+                f"-{self.intra_link.name}-{self.inter_link.name}")
+
+    def logical(self, dp: int, mp: int) -> "LogicalMesh":
+        """View the mesh as a ``(dp, mp)`` logical arrangement.
+
+        The MP axis is packed onto the fastest links first (devices within a
+        node), matching how Alpa maps tensor parallelism; the DP axis takes
+        whatever stride remains.  An axis that stays inside one node uses
+        ``intra_link``; an axis crossing node boundaries uses ``inter_link``.
+        """
+        if dp * mp != self.num_devices:
+            raise ValueError(
+                f"logical shape {dp}x{mp} != {self.num_devices} devices")
+        mp_crosses_nodes = mp > self.gpus_per_node
+        if mp_crosses_nodes:
+            dp_link = self.inter_link  # dp (if any) also strides nodes
+            mp_link = self.inter_link
+        else:
+            mp_link = self.intra_link
+            dp_within = (mp * dp) <= self.gpus_per_node
+            dp_link = self.intra_link if dp_within else self.inter_link
+        return LogicalMesh(self, dp, mp, dp_link, mp_link)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Mesh({self.n_nodes}x{self.gpus_per_node} {self.gpu.name})"
+
+
+@dataclass(frozen=True)
+class LogicalMesh:
+    """A 2-D logical arrangement ``(dp, mp)`` of a physical mesh's devices."""
+
+    mesh: DeviceMesh
+    dp: int
+    mp: int
+    dp_link: LinkSpec
+    mp_link: LinkSpec
+
+    @property
+    def num_devices(self) -> int:
+        return self.dp * self.mp
+
+    @property
+    def gpu(self) -> GPUSpec:
+        return self.mesh.gpu
+
+    def axis_size(self, axis: str) -> int:
+        return self.dp if axis == "dp" else self.mp
+
+    def axis_link(self, axis: str) -> LinkSpec:
+        return self.dp_link if axis == "dp" else self.mp_link
+
+    def key(self) -> str:
+        return f"{self.mesh.key()}-dp{self.dp}mp{self.mp}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"LogicalMesh(dp={self.dp}, mp={self.mp} on {self.mesh})"
+
+
+def enumerate_submeshes(cluster: DeviceMesh) -> list[DeviceMesh]:
+    """All homogeneous submeshes Alpa's inter-op pass may assign to a stage.
+
+    Following Alpa, a submesh either occupies a fraction ``2^-k`` of one
+    node's GPUs or a whole number of nodes.  Results are sorted by device
+    count so DP tables index them deterministically.
+    """
+    subs: list[DeviceMesh] = []
+    g = 1
+    while g <= cluster.gpus_per_node:
+        subs.append(DeviceMesh(1, g, cluster.gpu, cluster.intra_link,
+                               cluster.inter_link))
+        g *= 2
+    n = 2
+    while n <= cluster.n_nodes:
+        subs.append(DeviceMesh(n, cluster.gpus_per_node, cluster.gpu,
+                               cluster.intra_link, cluster.inter_link))
+        n *= 2
+    return sorted(subs, key=lambda m: (m.num_devices, m.n_nodes))
+
+
+def logical_views(mesh: DeviceMesh) -> list[LogicalMesh]:
+    """All power-of-two ``(dp, mp)`` factorizations of a mesh (Table III)."""
+    views = []
+    d = 1
+    while d <= mesh.num_devices:
+        if mesh.num_devices % d == 0:
+            views.append(mesh.logical(mesh.num_devices // d, d))
+        d *= 2
+    return views

@@ -1,0 +1,45 @@
+"""Interconnect model.
+
+Links are modeled with the classic α-β form: transferring ``n`` bytes
+costs ``α + n / β`` seconds (latency plus serialization).  Intra-node GPU
+pairs communicate over NVLink bridges (or PCIe where no bridge exists);
+nodes communicate over the cluster fabric (10 GbE on Platform 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One point-to-point link class."""
+
+    name: str
+    #: per-message latency, seconds
+    alpha: float
+    #: achievable bandwidth per direction, bytes/s
+    beta: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across this link."""
+        if nbytes <= 0:
+            return 0.0
+        return self.alpha + nbytes / self.beta
+
+
+#: NVLink bridge on both platforms: 112.5 GB/s bidirectional => ~56 GB/s
+#: usable per direction, microsecond-scale latency.
+NVLINK = LinkSpec("nvlink", alpha=4.0e-6, beta=56.25e9)
+
+#: PCIe 4.0 x16 fallback for GPUs in a node without a bridge.
+PCIE4 = LinkSpec("pcie4", alpha=8.0e-6, beta=22.0e9)
+
+#: 10 GbE between Platform-2 nodes (~1.1 GB/s effective after TCP overhead).
+TEN_GBE = LinkSpec("10gbe", alpha=40.0e-6, beta=1.1e9)
+
+#: 100 Gb InfiniBand — not on either paper platform, available for what-if
+#: sweeps in the examples.
+IB100 = LinkSpec("ib100", alpha=6.0e-6, beta=11.0e9)
+
+LINKS = {l.name: l for l in (NVLINK, PCIE4, TEN_GBE, IB100)}

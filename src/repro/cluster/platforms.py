@@ -1,0 +1,81 @@
+"""The two experimental platforms of §VII-A and the Table-II meshes.
+
+* **Platform 1** — Dell R750XA server, 2× Nvidia A40 joined by an NVLink
+  bridge (112.5 GB/s bidirectional).  Supports meshes 1 (1×1) and 2 (1×2).
+* **Platform 2** — 2 Dell Precision 5820 nodes, each with 2× RTX A5500
+  (NVLink within a node), nodes connected by 10 GbE.  Supports meshes
+  1 (1×1), 2 (1×2) and 3 (2×2).
+
+Experiments are identified ``(m, p)``: mesh index ``m`` from Table II and
+parallelism-configuration index ``p`` from Table III, resolved by
+:func:`repro.experiments.scenarios.scenario_grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gpu import A40, RTX_A5500, GPUSpec
+from .mesh import DeviceMesh
+from .network import NVLINK, PCIE4, TEN_GBE, LinkSpec
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One experimental testbed."""
+
+    name: str
+    gpu: GPUSpec
+    n_nodes: int
+    gpus_per_node: int
+    intra_link: LinkSpec
+    inter_link: LinkSpec
+
+    def cluster(self) -> DeviceMesh:
+        """The whole platform as one mesh."""
+        return DeviceMesh(self.n_nodes, self.gpus_per_node, self.gpu,
+                          self.intra_link, self.inter_link)
+
+    def mesh(self, index: int) -> DeviceMesh:
+        """Table-II mesh by 1-based index (1: 1×1, 2: 1×2, 3: 2×2)."""
+        try:
+            n_nodes, gpn = MESH_CONFIGS[index]
+        except KeyError:
+            raise ValueError(f"unknown mesh index {index}") from None
+        if n_nodes > self.n_nodes or gpn > self.gpus_per_node:
+            raise ValueError(f"mesh {index} does not fit on {self.name}")
+        return DeviceMesh(n_nodes, gpn, self.gpu, self.intra_link,
+                          self.inter_link)
+
+    def mesh_indices(self) -> list[int]:
+        """Table-II meshes that fit this platform."""
+        return [i for i, (n, g) in MESH_CONFIGS.items()
+                if n <= self.n_nodes and g <= self.gpus_per_node]
+
+
+#: Table II: mesh index -> (No. of nodes, No. of GPUs per node)
+MESH_CONFIGS: dict[int, tuple[int, int]] = {1: (1, 1), 2: (1, 2), 3: (2, 2)}
+
+#: Table III: mesh index -> {conf index -> (dp, mp) logical shape}
+PARALLEL_CONFIGS: dict[int, dict[int, tuple[int, int]]] = {
+    1: {1: (1, 1)},                       # single GPU, no parallelism
+    2: {1: (2, 1),                        # 2-way data parallel
+        2: (1, 2)},                       # 2-way model parallel
+    3: {1: (4, 1),                        # 4-way data parallel
+        2: (2, 2),                        # 2-way data x 2-way model
+        3: (1, 4)},                       # 4-way model parallel
+}
+
+PLATFORM1 = Platform("platform1", A40, n_nodes=1, gpus_per_node=2,
+                     intra_link=NVLINK, inter_link=TEN_GBE)
+PLATFORM2 = Platform("platform2", RTX_A5500, n_nodes=2, gpus_per_node=2,
+                     intra_link=NVLINK, inter_link=TEN_GBE)
+
+PLATFORMS = {p.name: p for p in (PLATFORM1, PLATFORM2)}
+
+
+def get_platform(name: str) -> Platform:
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise ValueError(f"unknown platform {name!r}; known: {sorted(PLATFORMS)}") from None

@@ -1,0 +1,11 @@
+"""PredTOP core: gray-box latency prediction + plan-search integration."""
+
+from .predtop import PhaseCosts, PredTOP, PredTOPConfig
+from .sampling import stratified_sample
+from .search import APPROACHES, PlanSearcher, SearchResult
+
+__all__ = [
+    "PredTOP", "PredTOPConfig", "PhaseCosts",
+    "stratified_sample",
+    "PlanSearcher", "SearchResult", "APPROACHES",
+]

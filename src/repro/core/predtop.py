@@ -1,0 +1,176 @@
+"""PredTOP: the gray-box latency prediction framework (§III & §VI).
+
+Three phases, per the system workflow (Fig 7):
+
+1. **Profiling** — sample stages of different sizes, run the intra-op
+   optimizer on each, and profile them on each mesh
+   (:meth:`PredTOP.profiling_phase`);
+2. **Training** — build stage DAGs, train one DAG Transformer per
+   (mesh, configuration) on the profiled latencies
+   (:meth:`PredTOP.training_phase`);
+3. **Prediction** — predict the optimal intra-stage latency of *all*
+   candidate stages on the mesh (:meth:`PredTOP.prediction_phase`), then
+   combine with the white-box pipeline model (Eqn 4) for end-to-end
+   iteration latency (:meth:`PredTOP.predict_iteration_latency`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.mesh import DeviceMesh, logical_views
+from ..models.clustering import Clustering
+from ..models.model import Model
+from ..predictors.base import LatencyPredictor
+from ..predictors.dataset import StageSample
+from ..predictors.trainer import TrainConfig
+from ..runtime.pipeline import whitebox_latency
+from ..runtime.profiler import ProfiledStage, StageProfiler
+from .sampling import stratified_sample
+
+
+@dataclass
+class PredTOPConfig:
+    """Framework knobs (§VI defaults)."""
+
+    predictor_kind: str = "dag_transformer"
+    #: fraction of candidate stages profiled for training
+    sample_fraction: float = 0.3
+    val_fraction: float = 0.1
+    train: TrainConfig = field(default_factory=TrainConfig)
+    seed: int = 0
+
+
+@dataclass
+class PhaseCosts:
+    """Cost bookkeeping across the three phases.
+
+    Profiling cost is in *simulated* seconds (the substituted testbed's
+    compile + measure time); training and inference costs are real wall
+    seconds of the predictor stack, which is the same machine class the
+    paper trains on.
+    """
+
+    profiling_seconds: float = 0.0
+    training_seconds: float = 0.0
+    inference_seconds: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.profiling_seconds + self.training_seconds + self.inference_seconds
+
+
+class PredTOP:
+    """Latency predictor for one model on one mesh."""
+
+    def __init__(
+        self,
+        model: Model,
+        clustering: Clustering,
+        mesh: DeviceMesh,
+        config: PredTOPConfig | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> None:
+        self.model = model
+        self.clustering = clustering
+        self.mesh = mesh
+        self.config = config or PredTOPConfig()
+        self.profiler = profiler or StageProfiler(model)
+        self.costs = PhaseCosts()
+        self.predictor: LatencyPredictor | None = None
+        self._profiled: list[ProfiledStage] = []
+
+    # ------------------------------------------------------------- phase 1
+    def profiling_phase(
+        self,
+        dp: int | None = None,
+        mp: int | None = None,
+    ) -> list[ProfiledStage]:
+        """Profile a stratified sample of stages on the mesh.
+
+        With explicit ``(dp, mp)`` the measurement fixes that Table-III
+        configuration; otherwise each stage is profiled across all logical
+        views and the *optimal* latency is kept (what Alpa's intra-op
+        compiler would emit, §III).
+        """
+        slices = stratified_sample(self.clustering.all_slices(),
+                                   self.config.sample_fraction,
+                                   self.config.seed)
+        self._profiled = []
+        for (s, e) in slices:
+            self._profiled.append(self._measure(s, e, dp, mp))
+        self.costs.profiling_seconds += sum(p.profiling_cost
+                                            for p in self._profiled)
+        return self._profiled
+
+    def _measure(self, s: int, e: int, dp: int | None,
+                 mp: int | None) -> ProfiledStage:
+        if dp is not None and mp is not None:
+            return self.profiler.profile_stage(s, e, self.mesh, dp, mp)
+        best: ProfiledStage | None = None
+        for lv in logical_views(self.mesh):
+            p = self.profiler.profile_stage(s, e, self.mesh, lv.dp, lv.mp)
+            if best is None or p.latency < best.latency:
+                best = p
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------- phase 2
+    def training_phase(self) -> LatencyPredictor:
+        """Train the predictor on the profiled sample."""
+        if not self._profiled:
+            raise RuntimeError("run profiling_phase first")
+        samples = [StageSample(p.graph, p.latency, p.stage_id)
+                   for p in self._profiled]
+        if len(samples) < 3:
+            raise RuntimeError("need at least 3 profiled stages to train")
+        # hold out a small validation slice for early stopping; every other
+        # profiled stage trains (there is no test split inside the
+        # framework — accuracy evaluation lives in the experiments layer)
+        rng = np.random.default_rng(self.config.seed)
+        order = rng.permutation(len(samples))
+        n_val = max(1, int(round(self.config.val_fraction * len(samples))))
+        val = [samples[i] for i in order[:n_val]]
+        train = [samples[i] for i in order[n_val:]]
+        self.predictor = LatencyPredictor(self.config.predictor_kind,
+                                          seed=self.config.seed)
+        result = self.predictor.fit(train, val, self.config.train)
+        self.costs.training_seconds += result.wall_seconds
+        return self.predictor
+
+    # ------------------------------------------------------------- phase 3
+    def prediction_phase(
+        self,
+        slices: list[tuple[int, int]] | None = None,
+        microbatch: int | None = None,
+    ) -> dict[tuple[int, int], float]:
+        """Predict optimal stage latency for all (or given) slices."""
+        if self.predictor is None:
+            raise RuntimeError("run training_phase first")
+        slices = slices or [self.clustering.slice_range(i, j)
+                            for i in range(self.clustering.n_units)
+                            for j in range(i + 1, self.clustering.n_units + 1)]
+        t0 = time.perf_counter()
+        graphs = [self.profiler.predictor_graph(s, e, microbatch)
+                  for (s, e) in slices]
+        preds = self.predictor.predict_graphs(graphs)
+        self.costs.inference_seconds += time.perf_counter() - t0
+        return {sl: float(p) for sl, p in zip(slices, preds)}
+
+    # ------------------------------------------------------------ white box
+    @staticmethod
+    def predict_iteration_latency(stage_latencies: list[float],
+                                  n_microbatches: int) -> float:
+        """Gray-box composition: Eqn 4 over predicted stage latencies."""
+        return whitebox_latency(stage_latencies, n_microbatches)
+
+    # ---------------------------------------------------------- convenience
+    def run_all_phases(self, dp: int | None = None, mp: int | None = None,
+                       ) -> dict[tuple[int, int], float]:
+        """Profile, train, and predict every candidate stage."""
+        self.profiling_phase(dp, mp)
+        self.training_phase()
+        return self.prediction_phase()

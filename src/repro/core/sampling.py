@@ -1,0 +1,59 @@
+"""Stage sampling for the profiling phase (§VI-1).
+
+PredTOP profiles only a subset of candidate stages; the paper samples
+"stages of different sizes to make the model more general".  We implement
+that as stratified sampling over slice length (in clustering units): every
+length bucket contributes proportionally, so the training set spans the
+smallest single-unit stages through the full model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+
+def stratified_sample(
+    slices: list[tuple[int, int]],
+    fraction: float,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """Sample ``fraction`` of ``slices``, stratified by slice length.
+
+    Always returns at least one slice per non-empty length bucket when the
+    overall budget allows, and at least two slices overall (a predictor
+    cannot be fit on fewer).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if not slices:
+        return []
+    rng = np.random.default_rng(seed)
+    buckets: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for s in slices:
+        buckets[s[1] - s[0]].append(s)
+
+    budget = max(2, int(round(fraction * len(slices))))
+    lengths = sorted(buckets)
+    chosen: list[tuple[int, int]] = []
+    # proportional allocation with a one-per-bucket floor, largest first so
+    # the rare long slices are never starved
+    remaining = budget
+    for i, ln in enumerate(reversed(lengths)):
+        blist = buckets[ln]
+        left = len(lengths) - i - 1
+        want = max(1, int(round(fraction * len(blist))))
+        want = min(want, max(0, remaining - left), len(blist))
+        if want > 0:
+            idx = rng.choice(len(blist), size=want, replace=False)
+            chosen.extend(blist[k] for k in sorted(idx))
+            remaining -= want
+    # top up from anywhere if rounding under-filled the budget
+    if remaining > 0:
+        pool = [s for s in slices if s not in set(chosen)]
+        if pool:
+            idx = rng.choice(len(pool), size=min(remaining, len(pool)),
+                             replace=False)
+            chosen.extend(pool[k] for k in sorted(idx))
+    return sorted(set(chosen))

@@ -1,0 +1,224 @@
+"""Parallelization-plan search: the Fig-10 use case.
+
+Five ways to fill the inter-op DP's stage-latency table, as compared in
+§VIII-B:
+
+* ``full``    — vanilla Alpa, exhaustive profiling of every
+  (slice, submesh);
+* ``partial`` — vanilla Alpa's heuristic: only profile slices whose
+  model-fraction roughly matches the submesh's device-fraction
+  (stage–device balance);
+* ``predtop-dag_transformer`` / ``predtop-gcn`` / ``predtop-gat`` — PredTOP:
+  profile a sampled subset per submesh, train the predictor, predict the
+  rest.
+
+Every approach then runs the same Alpa inter-op DP and its plan is scored
+by *ground-truth* stage latencies on the 1F1B pipeline simulator, so
+Fig 10a (optimization cost) and Fig 10b (plan iteration latency) fall out
+of the same structure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.mesh import DeviceMesh, enumerate_submeshes
+from ..models.clustering import Clustering
+from ..models.model import Model
+from ..parallel.inter_op import INFEASIBLE, LatencyTable, slice_stages
+from ..parallel.plans import ParallelPlan
+from ..predictors.base import LatencyPredictor
+from ..predictors.dataset import StageSample
+from ..predictors.trainer import TrainConfig
+from ..runtime.pipeline import PipelineSimulator
+from ..runtime.profiler import StageProfiler
+from .sampling import stratified_sample
+
+APPROACHES = ("full", "partial", "predtop-dag_transformer",
+              "predtop-gcn", "predtop-gat")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one plan search."""
+
+    approach: str
+    plan: ParallelPlan
+    #: simulated profiling seconds + real training/inference seconds
+    optimization_cost: float
+    cost_breakdown: dict[str, float] = field(default_factory=dict)
+    #: plan latency under ground-truth stage measurements (1F1B simulation)
+    true_iteration_latency: float = float("inf")
+    #: per-(slice, submesh) predicted/measured table used by the DP
+    n_table_entries: int = 0
+
+
+class PlanSearcher:
+    """Runs the five search variants on one (model, cluster) pair."""
+
+    def __init__(
+        self,
+        model: Model,
+        clustering: Clustering,
+        cluster: DeviceMesh,
+        n_microbatches: int = 8,
+        profiler: StageProfiler | None = None,
+        sample_fraction: float = 0.3,
+        train_config: TrainConfig | None = None,
+        balance_tolerance: float = 0.34,
+        enforce_memory: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.clustering = clustering
+        self.cluster = cluster
+        self.submeshes = enumerate_submeshes(cluster)
+        self.n_microbatches = n_microbatches
+        self.profiler = profiler or StageProfiler(model)
+        self.sample_fraction = sample_fraction
+        self.train_config = train_config or TrainConfig()
+        self.balance_tolerance = balance_tolerance
+        #: reject (stage, submesh) placements whose per-device training
+        #: state + activations exceed GPU memory (Alpa does the same)
+        self.enforce_memory = enforce_memory
+        self.seed = seed
+        self._slices = clustering.all_slices()
+        self._unit_slices = [
+            (i, j) for i in range(clustering.n_units)
+            for j in range(i + 1, clustering.n_units + 1)]
+
+    # ------------------------------------------------------------- plumbing
+    def _measure(self, layer_slice: tuple[int, int],
+                 submesh: DeviceMesh) -> tuple[float, float]:
+        """(optimal latency, profiling cost) for one slice on one submesh."""
+        from ..cluster.mesh import logical_views
+
+        best_lat, best_cost = INFEASIBLE, 0.0
+        for lv in logical_views(submesh):
+            p = self.profiler.profile_stage(layer_slice[0], layer_slice[1],
+                                            submesh, lv.dp, lv.mp)
+            if (self.enforce_memory
+                    and p.profile.memory_bytes > submesh.gpu.mem_capacity):
+                continue
+            if p.latency < best_lat:
+                best_lat, best_cost = p.latency, p.profiling_cost
+        return best_lat, best_cost
+
+    def _balanced(self, unit_slice: tuple[int, int],
+                  submesh: DeviceMesh) -> bool:
+        """Vanilla Alpa's partial-profiling heuristic (§VII-D)."""
+        frac_model = (unit_slice[1] - unit_slice[0]) / self.clustering.n_units
+        frac_devices = submesh.num_devices / self.cluster.num_devices
+        return abs(frac_model - frac_devices) <= self.balance_tolerance
+
+    def _score_plan(self, plan: ParallelPlan) -> float:
+        """Ground-truth iteration latency of a plan (1F1B simulation)."""
+        if not plan.feasible:
+            return float("inf")
+        true_times = []
+        for st in plan.stages:
+            lat, _ = self._measure(st.layer_range, st.submesh)
+            true_times.append(lat)
+        sim = PipelineSimulator(
+            true_times, self.n_microbatches,
+            transfer_bytes=self.model.activation_bytes(),
+            link=self.cluster.inter_link)
+        return sim.run().makespan
+
+    def _run_dp(self, table: LatencyTable) -> ParallelPlan:
+        return slice_stages(self.clustering, self.submeshes, table,
+                            self.n_microbatches,
+                            total_devices=self.cluster.num_devices)
+
+    # ------------------------------------------------------------ approaches
+    def search_full(self) -> SearchResult:
+        table = LatencyTable()
+        cost = 0.0
+        for (ui, uj) in self._unit_slices:
+            ls = self.clustering.slice_range(ui, uj)
+            for mi, sm in enumerate(self.submeshes):
+                lat, c = self._measure(ls, sm)
+                table.set(ui, uj, mi, lat)
+                cost += c
+        plan = self._run_dp(table)
+        return SearchResult("full", plan, cost,
+                            {"profiling": cost},
+                            self._score_plan(plan), len(table.values))
+
+    def search_partial(self) -> SearchResult:
+        table = LatencyTable()
+        cost = 0.0
+        for (ui, uj) in self._unit_slices:
+            ls = self.clustering.slice_range(ui, uj)
+            for mi, sm in enumerate(self.submeshes):
+                if not self._balanced((ui, uj), sm):
+                    continue
+                lat, c = self._measure(ls, sm)
+                table.set(ui, uj, mi, lat)
+                cost += c
+        plan = self._run_dp(table)
+        return SearchResult("partial", plan, cost,
+                            {"profiling": cost},
+                            self._score_plan(plan), len(table.values))
+
+    def search_predtop(self, kind: str = "dag_transformer") -> SearchResult:
+        """PredTOP: sample + profile, train per submesh, predict the rest."""
+        table = LatencyTable()
+        prof_cost = 0.0
+        train_cost = 0.0
+        infer_cost = 0.0
+        sampled = stratified_sample(self._unit_slices, self.sample_fraction,
+                                    self.seed)
+        sampled_set = set(sampled)
+        for mi, sm in enumerate(self.submeshes):
+            samples: list[StageSample] = []
+            for (ui, uj) in sampled:
+                ls = self.clustering.slice_range(ui, uj)
+                lat, c = self._measure(ls, sm)
+                prof_cost += c
+                table.set(ui, uj, mi, lat)  # measured entries are exact
+                g = self.profiler.predictor_graph(*ls)
+                samples.append(StageSample(g, lat, f"{ls}@{sm.key()}"))
+            predictor = LatencyPredictor(kind, seed=self.seed)
+            rng = np.random.default_rng(self.seed)
+            order = rng.permutation(len(samples))
+            n_val = max(1, len(samples) // 6)
+            val = [samples[i] for i in order[:n_val]]
+            train = [samples[i] for i in order[n_val:]]
+            result = predictor.fit(train, val, self.train_config)
+            train_cost += result.wall_seconds
+
+            t0 = time.perf_counter()
+            rest = [us for us in self._unit_slices if us not in sampled_set]
+            graphs = [self.profiler.predictor_graph(
+                *self.clustering.slice_range(ui, uj)) for (ui, uj) in rest]
+            if graphs:
+                preds = predictor.predict_graphs(graphs)
+                for (ui, uj), lat in zip(rest, preds):
+                    table.set(ui, uj, mi, max(float(lat), 1e-6))
+            infer_cost += time.perf_counter() - t0
+
+        plan = self._run_dp(table)
+        total = prof_cost + train_cost + infer_cost
+        return SearchResult(
+            f"predtop-{kind}", plan, total,
+            {"profiling": prof_cost, "training": train_cost,
+             "inference": infer_cost},
+            self._score_plan(plan), len(table.values))
+
+    # -------------------------------------------------------------- frontend
+    def run(self, approach: str) -> SearchResult:
+        if approach == "full":
+            return self.search_full()
+        if approach == "partial":
+            return self.search_partial()
+        if approach.startswith("predtop-"):
+            return self.search_predtop(approach.removeprefix("predtop-"))
+        raise ValueError(f"unknown approach {approach!r}; "
+                         f"known: {APPROACHES}")
+
+    def run_all(self) -> dict[str, SearchResult]:
+        return {a: self.run(a) for a in APPROACHES}

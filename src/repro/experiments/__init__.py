@@ -1,0 +1,25 @@
+"""Experiment harness: scenarios, profiles, corpora, tables, figures."""
+
+from .cache import ResultsCache, global_cache
+from .corpus import BenchmarkSetup, benchmark_setup, corpus_summary, stage_corpus
+from .figures import UseCaseResult, random_plan_latencies, run_use_case
+from .profiles import FAST, PAPER, PROFILES, SMOKE, ExperimentProfile, active_profile
+from .reporting import render_mre_table, render_stats, render_use_case
+from .scenarios import Scenario, all_scenarios, scenario_grid
+from .tables import (
+    CellResult,
+    best_kind_share,
+    grid_statistics,
+    mre_grid,
+    run_cell,
+)
+
+__all__ = [
+    "ExperimentProfile", "SMOKE", "FAST", "PAPER", "PROFILES", "active_profile",
+    "Scenario", "scenario_grid", "all_scenarios",
+    "BenchmarkSetup", "benchmark_setup", "stage_corpus", "corpus_summary",
+    "CellResult", "run_cell", "mre_grid", "grid_statistics", "best_kind_share",
+    "random_plan_latencies", "run_use_case", "UseCaseResult",
+    "render_mre_table", "render_stats", "render_use_case",
+    "ResultsCache", "global_cache",
+]

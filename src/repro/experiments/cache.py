@@ -1,0 +1,62 @@
+"""On-disk results cache for the benchmark harness.
+
+Predictor training dominates experiment wall time, so every (profile,
+experiment, cell) result is memoized in a JSON file.  Figures 8/9 are pure
+aggregations of the Table V/VI grids and read the same cache, so running
+the table benches once makes the figure benches free.
+
+Set ``REPRO_CACHE=off`` to disable, or point ``REPRO_CACHE`` at an
+alternate path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+_DEFAULT = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
+
+
+class ResultsCache:
+    """A flat string-keyed JSON store with atomic-ish writes."""
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        env = os.environ.get("REPRO_CACHE", "")
+        if env.lower() == "off":
+            self.path: Path | None = None
+            self._data: dict[str, Any] = {}
+            return
+        self.path = Path(env) if env else _DEFAULT
+        self._data = {}
+        if self.path.exists():
+            try:
+                self._data = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._data = {}
+
+    def get(self, key: str) -> Any | None:
+        return self._data.get(key)
+
+    def set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._data, indent=1, sort_keys=True))
+        tmp.replace(self.path)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+_GLOBAL: ResultsCache | None = None
+
+
+def global_cache() -> ResultsCache:
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = ResultsCache()
+    return _GLOBAL

@@ -1,0 +1,85 @@
+"""Stage-corpus construction for the prediction-accuracy experiments.
+
+§VIII collects 409 GPT-3 stages and 205 MoE stages by enumerating slices
+over the layer clustering and profiles each on every runtime
+configuration.  This module builds the per-profile equivalent: all
+contiguous unit slices of the (possibly depth-scaled) benchmark, profiled
+on one scenario, as encoded :class:`StageSample` lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.clustering import Clustering, cluster_layers
+from ..models.configs import benchmark_config
+from ..models.model import Model, build_model
+from ..predictors.dataset import StageSample
+from ..runtime.profiler import StageProfiler
+from .profiles import ExperimentProfile
+from .scenarios import Scenario
+
+
+@dataclass
+class BenchmarkSetup:
+    """Model + clustering + profiler for one (benchmark, profile)."""
+
+    family: str
+    model: Model
+    clustering: Clustering
+    profiler: StageProfiler
+
+
+_SETUPS: dict[tuple[str, str], BenchmarkSetup] = {}
+_CORPora: dict[tuple[str, str, str], list[StageSample]] = {}
+
+
+def benchmark_setup(family: str, profile: ExperimentProfile) -> BenchmarkSetup:
+    """Build (and memoize) the model/profiler pair for one benchmark."""
+    key = (family, profile.name)
+    if key in _SETUPS:
+        return _SETUPS[key]
+    layers = profile.gpt_layers if family == "gpt" else profile.moe_layers
+    units = profile.gpt_units if family == "gpt" else profile.moe_units
+    cfg = benchmark_config(family, layers)
+    model = build_model(cfg)
+    clustering = cluster_layers(model, units)
+    profiler = StageProfiler(model,
+                             aggressive_fusion=profile.aggressive_fusion)
+    setup = BenchmarkSetup(family, model, clustering, profiler)
+    _SETUPS[key] = setup
+    return setup
+
+
+def stage_corpus(family: str, scenario: Scenario,
+                 profile: ExperimentProfile) -> list[StageSample]:
+    """All stage samples of one benchmark on one runtime configuration."""
+    key = (family, scenario.key, profile.name)
+    if key in _CORPora:
+        return _CORPora[key]
+    setup = benchmark_setup(family, profile)
+    mesh = scenario.mesh()
+    samples = []
+    for mb in profile.corpus_microbatches:
+        for (s, e) in setup.clustering.all_slices():
+            p = setup.profiler.profile_stage(s, e, mesh, scenario.dp,
+                                             scenario.mp, microbatch=mb)
+            samples.append(StageSample(p.graph, p.latency,
+                                       f"{p.stage_id}@mb{mb}"))
+    _CORPora[key] = samples
+    return samples
+
+
+def corpus_summary(samples: list[StageSample]) -> dict:
+    """Size/latency statistics of a corpus (diagnostics)."""
+    import numpy as np
+
+    nodes = np.array([s.n_nodes for s in samples])
+    lats = np.array([s.latency for s in samples])
+    return {
+        "n_stages": len(samples),
+        "nodes_min": int(nodes.min()),
+        "nodes_max": int(nodes.max()),
+        "latency_ms_min": float(lats.min() * 1e3),
+        "latency_ms_max": float(lats.max() * 1e3),
+    }

@@ -1,0 +1,49 @@
+"""CSV exporters for every figure/table series.
+
+``results/<profile>/*.txt`` are human-readable; these writers produce the
+machine-readable companions (one CSV per experiment) so plots can be
+regenerated outside this repository.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def write_csv(path: str | os.PathLike, header: Sequence[str],
+              rows: Iterable[Sequence]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_mre_grid(grid: dict[tuple[str, float, str], float],
+                    path: str | os.PathLike) -> Path:
+    """Table V/VI cells as (scenario, fraction, predictor, mre_percent)."""
+    rows = [(sc, f"{frac:.2f}", kind, f"{v:.4f}")
+            for (sc, frac, kind), v in sorted(grid.items())]
+    return write_csv(path, ("scenario", "fraction", "predictor", "mre_pct"),
+                     rows)
+
+
+def export_series(values: Sequence[float], path: str | os.PathLike,
+                  name: str = "value") -> Path:
+    """A 1-D series (e.g. Fig 2 plan latencies)."""
+    return write_csv(path, ("index", name),
+                     [(i, f"{v:.6g}") for i, v in enumerate(values)])
+
+
+def export_use_case(data: dict[str, dict], path: str | os.PathLike) -> Path:
+    """Fig 10 rows: (approach, optimization_cost_s, plan_latency_s)."""
+    rows = [(a, f"{d['cost']:.3f}", f"{d['latency']:.6f}", d.get("stages", ""))
+            for a, d in sorted(data.items())]
+    return write_csv(path, ("approach", "opt_cost_s", "plan_latency_s",
+                            "n_stages"), rows)

@@ -1,0 +1,139 @@
+"""Figure harnesses: Fig 2 (plan-latency variation) and Fig 10 (use case).
+
+Fig 3 / 8 / 9 are aggregations of the Table V/VI machinery and live in
+:mod:`repro.experiments.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.mesh import DeviceMesh, enumerate_submeshes, logical_views
+from ..core.search import PlanSearcher, SearchResult
+from ..runtime.pipeline import whitebox_latency
+from .corpus import benchmark_setup
+from .profiles import ExperimentProfile
+from .scenarios import Scenario
+
+
+# --------------------------------------------------------------------- Fig 2
+def random_plan_latencies(
+    family: str,
+    profile: ExperimentProfile,
+    platform_name: str = "platform2",
+    n_plans: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Iteration latencies of random parallelization plans (Fig 2).
+
+    Each plan: a random contiguous partition of the layer units into
+    pipeline stages, a random exact-cover assignment of submeshes, and a
+    random logical configuration per stage.  Latency is the Eqn-4 pipeline
+    time over the simulated ground-truth stage latencies.
+    """
+    from ..cluster.platforms import get_platform
+
+    setup = benchmark_setup(family, profile)
+    cluster = get_platform(platform_name).cluster()
+    submeshes = enumerate_submeshes(cluster)
+    sizes = [m.num_devices for m in submeshes]
+    D = cluster.num_devices
+    U = setup.clustering.n_units
+    rng = np.random.default_rng(seed)
+    n_plans = n_plans or profile.fig2_plans
+
+    covers = _device_covers(sizes, D)
+    latencies = np.empty(n_plans, np.float64)
+    for p in range(n_plans):
+        cover = covers[rng.integers(len(covers))]
+        k = len(cover)
+        while k > U:
+            cover = covers[rng.integers(len(covers))]
+            k = len(cover)
+        # random contiguous partition of U units into k stages
+        cuts = np.sort(rng.choice(np.arange(1, U), size=k - 1, replace=False)) \
+            if k > 1 else np.array([], int)
+        bounds = [0, *cuts.tolist(), U]
+        perm = rng.permutation(k)
+        stage_times = []
+        for si in range(k):
+            mi = submeshes[sizes.index(cover[perm[si]])]
+            ls = setup.clustering.slice_range(bounds[si], bounds[si + 1])
+            views = logical_views(mi)
+            lv = views[rng.integers(len(views))]
+            prof = setup.profiler.profile_stage(ls[0], ls[1], mi, lv.dp, lv.mp)
+            stage_times.append(prof.latency)
+        latencies[p] = whitebox_latency(stage_times, profile.n_microbatches)
+    return latencies
+
+
+def _device_covers(sizes: list[int], total: int) -> list[tuple[int, ...]]:
+    """All multisets of submesh sizes summing exactly to ``total``."""
+    out: list[tuple[int, ...]] = []
+
+    def rec(remaining: int, start: int, acc: list[int]) -> None:
+        if remaining == 0:
+            out.append(tuple(acc))
+            return
+        for i in range(start, len(sizes)):
+            if sizes[i] <= remaining:
+                acc.append(sizes[i])
+                rec(remaining - sizes[i], i, acc)
+                acc.pop()
+
+    rec(total, 0, [])
+    return out
+
+
+# -------------------------------------------------------------------- Fig 10
+@dataclass
+class UseCaseResult:
+    """Fig 10 numbers for one benchmark."""
+
+    family: str
+    results: dict[str, SearchResult]
+
+    def optimization_costs(self) -> dict[str, float]:
+        return {a: r.optimization_cost for a, r in self.results.items()}
+
+    def plan_latencies(self) -> dict[str, float]:
+        return {a: r.true_iteration_latency for a, r in self.results.items()}
+
+    def relative_to(self, baseline: str = "partial") -> dict[str, dict[str, float]]:
+        base = self.results[baseline]
+        return {
+            a: {
+                "cost_ratio": r.optimization_cost / base.optimization_cost,
+                "latency_ratio": (r.true_iteration_latency
+                                  / base.true_iteration_latency),
+            }
+            for a, r in self.results.items()
+        }
+
+
+def run_use_case(
+    family: str,
+    profile: ExperimentProfile,
+    platform_name: str = "platform2",
+    approaches: tuple[str, ...] | None = None,
+) -> UseCaseResult:
+    """Run the Fig-10 plan-search comparison for one benchmark."""
+    from ..cluster.platforms import get_platform
+    from ..core.search import APPROACHES
+
+    setup = benchmark_setup(family, profile)
+    cluster = get_platform(platform_name).cluster()
+    searcher = PlanSearcher(
+        setup.model, setup.clustering, cluster,
+        n_microbatches=profile.n_microbatches,
+        profiler=setup.profiler,
+        sample_fraction=profile.sample_fraction,
+        train_config=profile.train_config(),
+        seed=profile.seed,
+    )
+    results = {}
+    for a in (approaches or APPROACHES):
+        results[a] = searcher.run(a)
+    return UseCaseResult(family, results)

@@ -1,0 +1,96 @@
+"""Experiment profiles: smoke / fast / paper.
+
+Predictor training in pure numpy on one core is the expensive part of the
+reproduction, so the benchmark harness scales three orthogonal knobs —
+model depth (which bounds stage-graph sizes and therefore corpus size),
+the train-fraction grid, and the training budget.  The ``paper`` profile
+is the full §VII protocol (409 GPT / 205 MoE stages, fractions 10–80 %,
+500 epochs, patience 200); ``fast`` is the default for
+``pytest benchmarks/``; ``smoke`` is for the test suite.
+
+Select with ``REPRO_PROFILE=smoke|fast|paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..predictors.trainer import TrainConfig
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """One resolution level of the evaluation protocol."""
+
+    name: str
+    #: transformer-block count per benchmark (None = Table IV depth)
+    gpt_layers: int | None
+    moe_layers: int | None
+    #: layer-clustering unit counts (stage corpus = U(U+1)/2 slices)
+    gpt_units: int
+    moe_units: int
+    #: train-fraction grid of Tables V/VI
+    fractions: tuple[float, ...]
+    epochs: int
+    patience: int
+    batch_size: int
+    #: Adam learning rate (paper: 1e-3; cheap profiles converge faster at 2e-3)
+    lr: float = 1e-3
+    #: coarser stage graphs for cheap profiles
+    aggressive_fusion: bool = True
+    #: microbatch sizes profiled per slice (the corpus is the cross product;
+    #: None = the model config's default). Varying the microbatch multiplies
+    #: corpus size without growing graphs, standing in for the paper's larger
+    #: stage corpora on the cheap profiles.
+    corpus_microbatches: tuple[int | None, ...] = (None,)
+    #: Eqn-4 microbatch count for plan-level experiments
+    n_microbatches: int = 8
+    #: PredTOP profiling-phase sample fraction (§VI)
+    sample_fraction: float = 0.3
+    #: number of random plans for Fig 2
+    fig2_plans: int = 100
+    seed: int = 0
+
+    def train_config(self, seed: int | None = None) -> TrainConfig:
+        return TrainConfig(epochs=self.epochs, patience=self.patience,
+                           batch_size=self.batch_size, lr=self.lr,
+                           seed=self.seed if seed is None else seed)
+
+
+SMOKE = ExperimentProfile(
+    name="smoke",
+    gpt_layers=2, moe_layers=2, gpt_units=4, moe_units=4,
+    fractions=(0.5,), epochs=8, patience=8, batch_size=8,
+    aggressive_fusion=True, corpus_microbatches=(2, 4),
+    n_microbatches=4, fig2_plans=12,
+)
+
+FAST = ExperimentProfile(
+    name="fast",
+    gpt_layers=2, moe_layers=2, gpt_units=4, moe_units=4,
+    fractions=(0.5, 0.8), epochs=150, patience=150, batch_size=8, lr=2e-3,
+    aggressive_fusion=True, corpus_microbatches=(1, 2, 4, 8),
+    n_microbatches=8, fig2_plans=100,
+)
+
+PAPER = ExperimentProfile(
+    name="paper",
+    gpt_layers=None, moe_layers=None, gpt_units=26, moe_units=20,
+    fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+    epochs=500, patience=200, batch_size=32,
+    aggressive_fusion=False, n_microbatches=16, fig2_plans=100,
+)
+
+PROFILES = {p.name: p for p in (SMOKE, FAST, PAPER)}
+
+
+def active_profile(default: str = "fast") -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default ``fast``)."""
+    name = os.environ.get("REPRO_PROFILE", default).lower()
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_PROFILE={name!r} unknown; pick from {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,76 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from ..predictors.base import PREDICTOR_KINDS
+from .scenarios import scenario_grid
+
+_KIND_LABEL = {"gcn": "GCN", "gat": "GAT", "dag_transformer": "Tran"}
+
+
+def render_mre_table(
+    grid: dict[tuple[str, float, str], float],
+    platform_name: str,
+    family: str,
+    fractions: tuple[float, ...],
+    kinds: tuple[str, ...] = PREDICTOR_KINDS,
+) -> str:
+    """Render one Table V/VI half in the paper's layout.
+
+    Rows: train-sample fraction (descending, like the paper); columns:
+    scenario × predictor.  Bold-face is not reproducible in plain text, so
+    the winning predictor per (row, scenario) is marked with ``*``.
+    """
+    scenarios = scenario_grid(platform_name)
+    col_kinds = [k for k in ("gcn", "gat", "dag_transformer") if k in kinds]
+    header1 = f"{'#Samples':>9s} |"
+    header2 = f"{'':>9s} |"
+    for sc in scenarios:
+        width = 8 * len(col_kinds)
+        header1 += f" {sc.label:^{width - 1}s}|"
+        header2 += " " + "".join(f"{_KIND_LABEL[k]:>7s} " for k in col_kinds) + "|"
+    lines = [f"MRE (%) — {family.upper()} on {platform_name}",
+             header1, header2, "-" * len(header1)]
+    for f in sorted(fractions, reverse=True):
+        row = f"{f * 100:8.0f}% |"
+        for sc in scenarios:
+            vals = {k: grid.get((sc.key, f, k)) for k in col_kinds}
+            present = {k: v for k, v in vals.items() if v is not None}
+            best = min(present, key=present.get) if present else None
+            for k in col_kinds:
+                v = vals[k]
+                cell = "   --  " if v is None else (
+                    f"{v:6.2f}{'*' if k == best else ' '}")
+                row += f" {cell}"
+            row += "|"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_stats(stats: dict[str, dict[str, float]], title: str) -> str:
+    """Fig 8/9-style summary: mean ± std of MREs per predictor."""
+    lines = [title]
+    for kind in ("gcn", "gat", "dag_transformer"):
+        if kind not in stats:
+            continue
+        s = stats[kind]
+        lines.append(f"  {_KIND_LABEL[kind]:>5s}: mean {s['mean']:7.2f}%  "
+                     f"std {s['std']:7.2f}%  (n={s['n']})")
+    return "\n".join(lines)
+
+
+def render_use_case(result, baseline: str = "partial") -> str:
+    """Fig 10a/b-style comparison table for one benchmark."""
+    lines = [f"Use case — {result.family.upper()}",
+             f"{'approach':>26s} {'opt cost (s)':>14s} {'vs partial':>11s}"
+             f" {'plan latency (ms)':>18s} {'vs partial':>11s}"]
+    base = result.results.get(baseline)
+    for a, r in result.results.items():
+        cost_rel = (r.optimization_cost / base.optimization_cost
+                    if base and base.optimization_cost else float("nan"))
+        lat_rel = (r.true_iteration_latency / base.true_iteration_latency
+                   if base and base.true_iteration_latency else float("nan"))
+        lines.append(
+            f"{a:>26s} {r.optimization_cost:14.1f} {cost_rel:10.2f}x"
+            f" {r.true_iteration_latency * 1e3:18.1f} {lat_rel:10.3f}x")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""The (platform, mesh, configuration) evaluation grid of Tables II/III/V/VI.
+
+Each *scenario* is one runtime configuration ``(m, p)``: mesh index from
+Table II and parallelism-configuration index from Table III, on one of the
+two platforms.  Platform 1 (2×A40, one node) supports meshes 1–2 → 3
+scenarios; Platform 2 (2 nodes × 2×A5500) supports meshes 1–3 → 6
+scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.mesh import DeviceMesh
+from ..cluster.platforms import PARALLEL_CONFIGS, Platform, get_platform
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One runtime configuration (platform, mesh index, config index)."""
+
+    platform_name: str
+    mesh_index: int
+    config_index: int
+    dp: int
+    mp: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.platform_name}-m{self.mesh_index}c{self.config_index}"
+
+    @property
+    def label(self) -> str:
+        return f"Mesh {self.mesh_index} Conf {self.config_index}"
+
+    def platform(self) -> Platform:
+        return get_platform(self.platform_name)
+
+    def mesh(self) -> DeviceMesh:
+        return self.platform().mesh(self.mesh_index)
+
+
+def scenario_grid(platform_name: str) -> list[Scenario]:
+    """All Table V/VI scenarios for one platform, in table column order."""
+    platform = get_platform(platform_name)
+    out: list[Scenario] = []
+    for m in platform.mesh_indices():
+        for p, (dp, mp) in sorted(PARALLEL_CONFIGS[m].items()):
+            out.append(Scenario(platform_name, m, p, dp, mp))
+    return out
+
+
+def all_scenarios() -> list[Scenario]:
+    """Platform 1's 3 scenarios followed by Platform 2's 6."""
+    return scenario_grid("platform1") + scenario_grid("platform2")

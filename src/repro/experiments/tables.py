@@ -1,0 +1,120 @@
+"""Table V/VI harness: MRE grids over scenarios × train fractions × models.
+
+One *cell* = train one predictor kind on one fraction of one scenario's
+corpus and measure test MRE (Eqn 5), following §VIII-A: ``f`` of the
+samples train, a separate 10 % validate, the remainder test.  Cells are
+memoized in the results cache keyed by (profile, benchmark, scenario,
+fraction, kind, seed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..predictors.base import PREDICTOR_KINDS, LatencyPredictor
+from ..predictors.dataset import split_dataset
+from .cache import global_cache
+from .corpus import stage_corpus
+from .profiles import ExperimentProfile
+from .scenarios import Scenario, scenario_grid
+
+
+@dataclass(frozen=True)
+class CellResult:
+    scenario_key: str
+    fraction: float
+    kind: str
+    mre: float
+    epochs_run: int
+    train_seconds: float
+
+
+def cell_key(profile: ExperimentProfile, family: str, scenario: Scenario,
+             fraction: float, kind: str, seed: int) -> str:
+    return (f"mre/{profile.name}/{family}/{scenario.key}/"
+            f"f{fraction:.2f}/{kind}/s{seed}")
+
+
+def run_cell(
+    family: str,
+    scenario: Scenario,
+    fraction: float,
+    kind: str,
+    profile: ExperimentProfile,
+    seed: int | None = None,
+    use_cache: bool = True,
+) -> CellResult:
+    """Train + evaluate one grid cell (or return its cached result)."""
+    seed = profile.seed if seed is None else seed
+    cache = global_cache()
+    key = cell_key(profile, family, scenario, fraction, kind, seed)
+    if use_cache and key in cache:
+        v = cache.get(key)
+        return CellResult(scenario.key, fraction, kind,
+                          v["mre"], v["epochs"], v["seconds"])
+    if os.environ.get("REPRO_ONLY_CACHED"):
+        # partial-render mode: report the cell as missing rather than
+        # spending minutes training it inside a reporting pass
+        return CellResult(scenario.key, fraction, kind, float("nan"), 0, 0.0)
+
+    samples = stage_corpus(family, scenario, profile)
+    split = split_dataset(samples, fraction, 0.1, seed)
+    predictor = LatencyPredictor(kind, seed=seed)
+    result = predictor.fit(split.train, split.val, profile.train_config(seed))
+    mre = predictor.evaluate_mre(split.test)
+    cache.set(key, {"mre": mre, "epochs": result.epochs_run,
+                    "seconds": result.wall_seconds})
+    return CellResult(scenario.key, fraction, kind, mre,
+                      result.epochs_run, result.wall_seconds)
+
+
+def mre_grid(
+    platform_name: str,
+    family: str,
+    profile: ExperimentProfile,
+    kinds: tuple[str, ...] = PREDICTOR_KINDS,
+    fractions: tuple[float, ...] | None = None,
+) -> dict[tuple[str, float, str], float]:
+    """One full Table V/VI half: {(scenario, fraction, kind): MRE%}."""
+    fractions = fractions or profile.fractions
+    out: dict[tuple[str, float, str], float] = {}
+    for scenario in scenario_grid(platform_name):
+        for fraction in fractions:
+            for kind in kinds:
+                cell = run_cell(family, scenario, fraction, kind, profile)
+                if not np.isnan(cell.mre):
+                    out[(scenario.key, fraction, kind)] = cell.mre
+    return out
+
+
+def grid_statistics(
+    grid: dict[tuple[str, float, str], float],
+    kinds: tuple[str, ...] = PREDICTOR_KINDS,
+) -> dict[str, dict[str, float]]:
+    """Fig 8/9 aggregation: mean and std of MREs per predictor kind."""
+    stats: dict[str, dict[str, float]] = {}
+    for kind in kinds:
+        vals = np.array([v for (s, f, k), v in grid.items() if k == kind])
+        if len(vals) == 0:
+            continue
+        stats[kind] = {"mean": float(vals.mean()), "std": float(vals.std()),
+                       "n": int(len(vals))}
+    return stats
+
+
+def best_kind_share(
+    grid: dict[tuple[str, float, str], float],
+    kinds: tuple[str, ...] = PREDICTOR_KINDS,
+) -> dict[str, float]:
+    """Fraction of (scenario, fraction) cells each kind wins (lowest MRE)."""
+    cells: dict[tuple[str, float], dict[str, float]] = {}
+    for (s, f, k), v in grid.items():
+        cells.setdefault((s, f), {})[k] = v
+    wins = {k: 0 for k in kinds}
+    for cell in cells.values():
+        wins[min(cell, key=cell.get)] += 1
+    total = max(1, len(cells))
+    return {k: w / total for k, w in wins.items()}

@@ -1,0 +1,398 @@
+"""Training-graph expansion (reverse-mode differentiation on the IR).
+
+Profiled stage latencies in the paper are *training* latencies: forward,
+backward, and parameter update all execute on the mesh.  This pass takes a
+forward stage DAG and appends the backward equations in reverse topological
+order, plus (optionally) Adam-style update equations per trainable
+parameter, producing the graph whose cost the runtime simulator measures.
+
+The expansion is **cost-faithful**: every gradient equation has the exact
+output shape/dtype of the value it differentiates and the FLOP count of the
+real VJP (e.g. each forward ``dot_general`` spawns two backward
+``dot_general`` ops of equal FLOPs).  The graphs are never executed
+numerically, so no numerical VJP check is needed or claimed; structural
+properties (shapes, fan-in accumulation, reverse-topological layout) are
+exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .dtypes import INT32
+from .graph import Graph, Node, TensorSpec
+from .ops import op_def
+
+#: Ops whose inputs receive no gradient (integer/index/boolean producers).
+NON_DIFFERENTIABLE = {"compare", "argmax", "iota", "one_hot"}
+
+
+@dataclass
+class _Ctx:
+    """Mutable state threaded through the expansion."""
+
+    graph: Graph  # the output (training) graph, seeded with the forward nodes
+    grads: dict[int, list[int]]  # forward node id -> pending grad node ids
+
+
+def _spec(g: Graph, nid: int) -> TensorSpec:
+    return g.nodes[nid].out
+
+
+def _emit(ctx: _Ctx, op: str, inputs: tuple[int, ...], out: TensorSpec,
+          params: dict | None = None, name: str = "") -> int:
+    return ctx.graph.add_node(op, inputs, out, "operator", params or {}, name).id
+
+
+def _accumulate(ctx: _Ctx, nid: int) -> int | None:
+    """Sum all pending gradient contributions for forward node ``nid``."""
+    parts = ctx.grads.get(nid)
+    if not parts:
+        return None
+    total = parts[0]
+    for p in parts[1:]:
+        total = _emit(ctx, "add", (total, p), _spec(ctx.graph, nid), name="grad_acc")
+    return total
+
+
+def _push(ctx: _Ctx, nid: int, grad: int) -> None:
+    ctx.grads.setdefault(nid, []).append(grad)
+
+
+def _unbroadcast(ctx: _Ctx, grad: int, target: TensorSpec) -> int:
+    """Reduce a broadcasted gradient back to the operand's shape."""
+    gspec = _spec(ctx.graph, grad)
+    if gspec.shape == target.shape:
+        return grad
+    # sum over leading extra dims, then over dims that were broadcast from 1
+    extra = len(gspec.shape) - len(target.shape)
+    axes = list(range(extra))
+    for i, (gs, ts) in enumerate(zip(gspec.shape[extra:], target.shape)):
+        if ts == 1 and gs != 1:
+            axes.append(extra + i)
+    g = grad
+    if axes:
+        g = _emit(ctx, "reduce_sum", (g,), TensorSpec(target.shape, gspec.dtype),
+                  params={"axes": tuple(axes)}, name="grad_unbroadcast")
+    if _spec(ctx.graph, g).shape != target.shape:
+        g = _emit(ctx, "reshape", (g,), TensorSpec(target.shape, gspec.dtype),
+                  name="grad_reshape")
+    return g
+
+
+def _dot_contract(out: TensorSpec, k: int, operand: TensorSpec) -> int:
+    """Contracted extent giving the backward dot the same FLOPs as forward."""
+    if operand.size == 0:
+        return 1
+    return max(1, round(out.size * k / operand.size))
+
+
+def _backprop_node(ctx: _Ctx, node: Node, grad: int, needs: list[bool]) -> None:
+    """Emit VJP equations for one forward node, pushing operand grads."""
+    g = ctx.graph
+    ins = [g.nodes[i].out for i in node.inputs]
+    op = node.op
+
+    def want(i: int) -> bool:
+        return needs[node.inputs[i]] and g.nodes[node.inputs[i]].out.dtype.kind == "f"
+
+    if op == "dot_general":
+        k = int(node.params.get("contract", 1))
+        if want(0):
+            da = _emit(ctx, "dot_general", (grad, node.inputs[1]), ins[0],
+                       params={"contract": _dot_contract(node.out, k, ins[0])},
+                       name="grad_dot_lhs")
+            _push(ctx, node.inputs[0], da)
+        if want(1):
+            db = _emit(ctx, "dot_general", (node.inputs[0], grad), ins[1],
+                       params={"contract": _dot_contract(node.out, k, ins[1])},
+                       name="grad_dot_rhs")
+            _push(ctx, node.inputs[1], db)
+        return
+
+    if op in ("add", "sub"):
+        if want(0):
+            _push(ctx, node.inputs[0], _unbroadcast(ctx, grad, ins[0]))
+        if want(1):
+            gb = grad if op == "add" else _emit(ctx, "neg", (grad,), node.out,
+                                                name="grad_neg")
+            _push(ctx, node.inputs[1], _unbroadcast(ctx, gb, ins[1]))
+        return
+
+    if op == "mul":
+        if want(0):
+            da = _emit(ctx, "mul", (grad, node.inputs[1]), node.out, name="grad_mul")
+            _push(ctx, node.inputs[0], _unbroadcast(ctx, da, ins[0]))
+        if want(1):
+            db = _emit(ctx, "mul", (grad, node.inputs[0]), node.out, name="grad_mul")
+            _push(ctx, node.inputs[1], _unbroadcast(ctx, db, ins[1]))
+        return
+
+    if op == "div":
+        if want(0):
+            da = _emit(ctx, "div", (grad, node.inputs[1]), node.out, name="grad_div")
+            _push(ctx, node.inputs[0], _unbroadcast(ctx, da, ins[0]))
+        if want(1):
+            t = _emit(ctx, "mul", (grad, node.id), node.out, name="grad_div")
+            db = _emit(ctx, "div", (t, node.inputs[1]), node.out, name="grad_div")
+            dbn = _emit(ctx, "neg", (db,), node.out, name="grad_div")
+            _push(ctx, node.inputs[1], _unbroadcast(ctx, dbn, ins[1]))
+        return
+
+    if op in ("max", "min"):
+        mask = _emit(ctx, "compare", (node.inputs[0], node.inputs[1]),
+                     TensorSpec(node.out.shape, node.out.dtype),
+                     params={"direction": "ge" if op == "max" else "le"},
+                     name="grad_mask")
+        if want(0):
+            da = _emit(ctx, "mul", (grad, mask), node.out, name="grad_maxmin")
+            _push(ctx, node.inputs[0], _unbroadcast(ctx, da, ins[0]))
+        if want(1):
+            db = _emit(ctx, "mul", (grad, mask), node.out, name="grad_maxmin")
+            _push(ctx, node.inputs[1], _unbroadcast(ctx, db, ins[1]))
+        return
+
+    if op == "pow":
+        if want(0):
+            t = _emit(ctx, "pow", (node.inputs[0], node.inputs[1]), node.out,
+                      name="grad_pow")
+            da = _emit(ctx, "mul", (grad, t), node.out, name="grad_pow")
+            _push(ctx, node.inputs[0], _unbroadcast(ctx, da, ins[0]))
+        return
+
+    # ---- unary elementwise: one or two elementwise ops each -----------------
+    unary = {
+        "neg": ("neg", 1), "exp": ("mul", 1), "log": ("div", 1),
+        "tanh": ("mul", 2), "erf": ("mul", 2), "logistic": ("mul", 2),
+        "sqrt": ("div", 1), "rsqrt": ("mul", 2), "abs": ("mul", 1),
+        "sign": (None, 0),
+    }
+    if op in unary:
+        kind, n_ops = unary[op]
+        if kind is None or not want(0):
+            return
+        cur = grad
+        for j in range(n_ops):
+            # pair grad with the forward value to keep fan-in realistic
+            other = node.id if j == 0 else node.inputs[0]
+            cur = _emit(ctx, kind, (cur, other), TensorSpec(ins[0].shape, ins[0].dtype),
+                        name=f"grad_{op}")
+        _push(ctx, node.inputs[0], cur)
+        return
+
+    if op == "select":
+        for idx in (1, 2):
+            if needs[node.inputs[idx]] and ins[idx].dtype.kind == "f":
+                d = _emit(ctx, "mul", (grad, node.inputs[0]), node.out,
+                          name="grad_select")
+                _push(ctx, node.inputs[idx], _unbroadcast(ctx, d, ins[idx]))
+        return
+
+    if op == "reduce_sum":
+        if want(0):
+            d = _emit(ctx, "broadcast_in_dim", (grad,), ins[0],
+                      name="grad_reduce_sum")
+            _push(ctx, node.inputs[0], d)
+        return
+
+    if op in ("reduce_max", "reduce_min"):
+        if want(0):
+            bcast = _emit(ctx, "broadcast_in_dim", (node.id,), ins[0],
+                          name="grad_reduce_bcast")
+            mask = _emit(ctx, "compare", (node.inputs[0], bcast),
+                         TensorSpec(ins[0].shape, ins[0].dtype),
+                         params={"direction": "ge"}, name="grad_reduce_mask")
+            gb = _emit(ctx, "broadcast_in_dim", (grad,), ins[0],
+                       name="grad_reduce_bcast")
+            d = _emit(ctx, "mul", (gb, mask), ins[0], name="grad_reduce")
+            _push(ctx, node.inputs[0], d)
+        return
+
+    if op == "cumsum":
+        if want(0):
+            d = _emit(ctx, "cumsum", (grad,), ins[0],
+                      params={"axis": node.params.get("axis", 0), "reverse": True},
+                      name="grad_cumsum")
+            _push(ctx, node.inputs[0], d)
+        return
+
+    if op in ("reshape", "convert_element_type", "broadcast_in_dim",
+              "transpose", "slice", "pad"):
+        if want(0):
+            inverse = {"transpose": "transpose", "slice": "pad", "pad": "slice",
+                       "broadcast_in_dim": "reduce_sum"}.get(op, "reshape")
+            params = {}
+            if op == "transpose":
+                perm = node.params.get("perm", tuple(range(node.out.rank)))
+                params = {"perm": tuple(int(x) for x in _argsort(perm))}
+            elif inverse == "reduce_sum":
+                params = {"axes": tuple(range(node.out.rank))}
+            d = _emit(ctx, inverse, (grad,), ins[0], params=params, name=f"grad_{op}")
+            _push(ctx, node.inputs[0], d)
+        return
+
+    if op == "concatenate":
+        axis = node.params.get("axis", 0)
+        for idx, spec in enumerate(ins):
+            if needs[node.inputs[idx]] and spec.dtype.kind == "f":
+                d = _emit(ctx, "slice", (grad,), spec,
+                          params={"axis": axis, "part": idx}, name="grad_concat")
+                _push(ctx, node.inputs[idx], d)
+        return
+
+    if op == "gather":
+        if want(0):
+            zeros = _emit(ctx, "broadcast_in_dim", (grad,), ins[0],
+                          name="grad_gather_init")
+            d = _emit(ctx, "scatter_add", (zeros, node.inputs[1], grad), ins[0],
+                      name="grad_gather")
+            _push(ctx, node.inputs[0], d)
+        return
+
+    if op == "scatter_add":
+        if want(0):
+            _push(ctx, node.inputs[0], grad)
+        if len(node.inputs) > 2 and needs[node.inputs[2]] and ins[2].dtype.kind == "f":
+            d = _emit(ctx, "gather", (grad, node.inputs[1]), ins[2],
+                      name="grad_scatter")
+            _push(ctx, node.inputs[2], d)
+        return
+
+    if op == "top_k":
+        if want(0) and not node.params.get("indices"):
+            d = _emit(ctx, "scatter_add", (node.inputs[0], node.id, grad), ins[0],
+                      name="grad_topk")
+            _push(ctx, node.inputs[0], d)
+        return
+
+    if op == "fused_elementwise":
+        # gradient of a fused chain is another fused chain of similar cost
+        fwd_flops = float(node.params.get("flops", node.out.size))
+        wanted = [i for i in range(len(node.inputs)) if want(i)]
+        for i in wanted:
+            d = _emit(ctx, "fused_elementwise", (grad, node.id),
+                      TensorSpec(ins[i].shape, ins[i].dtype),
+                      params={"flops": fwd_flops / max(1, len(wanted)),
+                              "n_fused": node.params.get("n_fused", 1)},
+                      name="grad_fused")
+            _push(ctx, node.inputs[i], d)
+        return
+
+    if op in NON_DIFFERENTIABLE:
+        return
+
+    raise NotImplementedError(f"no VJP rule for op {op!r}")  # pragma: no cover
+
+
+def _argsort(perm: tuple[int, ...]) -> list[int]:
+    inv = [0] * len(perm)
+    for i, p in enumerate(perm):
+        inv[p] = i
+    return inv
+
+
+def _copy_graph(fwd: Graph, name: str) -> Graph:
+    g = Graph(name)
+    for n in fwd.nodes:
+        g.add_node(n.op, n.inputs, n.out, n.node_type, dict(n.params), n.name)
+    return g
+
+
+def build_training_graph(
+    forward: Graph,
+    include_update: bool = True,
+    loss_to_scalar: bool = True,
+) -> Graph:
+    """Expand a forward stage DAG into the full training-step DAG.
+
+    Args:
+        forward: validated forward graph.
+        include_update: also emit Adam moment/update equations per trainable
+            parameter (8 elementwise ops each, matching a fused Adam kernel's
+            arithmetic).
+        loss_to_scalar: reduce each stage output to a scalar loss before
+            seeding the backward pass (as the final pipeline stage does);
+            otherwise the output gradient arrives from the next stage and is
+            seeded as an input node.
+
+    Returns:
+        A new validated :class:`Graph` containing forward, backward, and
+        update equations.
+    """
+    forward.validate()
+    g = _copy_graph(forward, forward.name + "+train")
+    ctx = _Ctx(graph=g, grads={})
+
+    # which forward nodes need gradients: ancestors-of-output that are also
+    # descendants of a trainable leaf or a float input
+    n_fwd = len(forward.nodes)
+    needs = [False] * n_fwd
+    for node in forward.nodes:
+        if node.node_type == "input" and node.out.dtype.kind == "f":
+            needs[node.id] = True
+        elif node.node_type == "literal" and node.params.get("trainable"):
+            needs[node.id] = True
+        elif node.node_type == "output":
+            needs[node.id] = any(needs[i] for i in node.inputs)
+        elif node.node_type == "operator":
+            if node.op in NON_DIFFERENTIABLE:
+                continue
+            if node.params.get("indices"):
+                continue
+            needs[node.id] = any(needs[i] for i in node.inputs)
+
+    # seed output grads
+    for out_node in forward.outputs():
+        if not needs[out_node.id]:
+            continue
+        src = out_node.inputs[0]
+        if loss_to_scalar:
+            loss = g.add_node("reduce_sum", (src,),
+                              TensorSpec((), out_node.out.dtype), "operator",
+                              {"axes": tuple(range(out_node.out.rank))},
+                              "loss").id
+            seed = g.add_node("broadcast_in_dim", (loss,), out_node.out, "operator",
+                              {}, "grad_seed").id
+        else:
+            seed = g.add_node("iota", (), out_node.out, "input", {},
+                              f"grad_in_{out_node.name or out_node.id}").id
+        _push(ctx, src, seed)
+
+    # reverse sweep over forward operator nodes
+    for node in reversed(forward.nodes):
+        if node.node_type != "operator" or not needs[node.id]:
+            continue
+        grad = _accumulate(ctx, node.id)
+        if grad is None:
+            continue
+        ctx.grads[node.id] = [grad]  # collapsed
+        _backprop_node(ctx, node, grad, needs)
+
+    # parameter updates (Adam): m, v, mhat, vhat, sqrt, div, scale, apply
+    if include_update:
+        for node in forward.nodes:
+            if node.node_type != "literal" or not node.params.get("trainable"):
+                continue
+            grad = _accumulate(ctx, node.id)
+            if grad is None:
+                continue
+            ctx.grads[node.id] = [grad]
+            spec = node.out
+            m = g.add_node("mul", (grad, grad), spec, "operator", {}, "adam_v").id
+            m1 = g.add_node("add", (grad, m), spec, "operator", {}, "adam_m").id
+            v1 = g.add_node("add", (m, m1), spec, "operator", {}, "adam_v").id
+            s = g.add_node("sqrt", (v1,), spec, "operator", {}, "adam_sqrt").id
+            d = g.add_node("div", (m1, s), spec, "operator", {}, "adam_div").id
+            sc = g.add_node("mul", (d, d), spec, "operator", {}, "adam_scale").id
+            upd = g.add_node("sub", (node.id, sc), spec, "operator", {}, "adam_apply").id
+            g.add_node("iota", (upd,), spec, "output", {}, f"new_{node.name}")
+
+    g.validate()
+    return g
+
+
+def count_parameters(graph: Graph) -> int:
+    """Total trainable parameter elements declared in ``graph``."""
+    return sum(n.out.size for n in graph.nodes
+               if n.node_type == "literal" and n.params.get("trainable"))

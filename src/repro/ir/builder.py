@@ -1,0 +1,303 @@
+"""Typed construction API over :class:`repro.ir.graph.Graph`.
+
+The builder plays the role of JAX tracing in the original system: model
+code written against it (see :mod:`repro.models.layers`) emits a jaxpr-like
+tensor-level DAG with full shape/dtype inference, without any numerical
+execution.
+
+Values are handled as :class:`Var` handles so model code reads like array
+code (``y = b.add(b.matmul(x, w), bias)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .dtypes import BOOL, INT32, DType, dtype, promote
+from .graph import Graph, Node, TensorSpec
+from .ops import is_registered
+
+
+@dataclass(frozen=True)
+class Var:
+    """Handle to one graph value (node id + its spec)."""
+
+    id: int
+    spec: TensorSpec
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.spec.shape
+
+    @property
+    def dtype(self) -> DType:
+        return self.spec.dtype
+
+
+def broadcast_shapes(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    """Numpy-style broadcast of two shapes."""
+    out: list[int] = []
+    for da, db in zip(reversed((1,) * max(0, len(b) - len(a)) + a),
+                      reversed((1,) * max(0, len(a) - len(b)) + b)):
+        if da != db and 1 not in (da, db):
+            raise ValueError(f"shapes {a} and {b} are not broadcastable")
+        out.append(max(da, db))
+    return tuple(reversed(out))
+
+
+class GraphBuilder:
+    """Builds a validated stage DAG node by node."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.graph = Graph(name)
+
+    # ------------------------------------------------------------- leaf nodes
+    def input(self, name: str, shape: Sequence[int], dt: str | DType = "float32") -> Var:
+        """Declare a stage input (activations entering the stage)."""
+        node = self.graph.add_node(
+            "iota", (), TensorSpec(tuple(shape), dtype(dt)), node_type="input", name=name
+        )
+        return Var(node.id, node.out)
+
+    def param(self, name: str, shape: Sequence[int], dt: str | DType = "float32") -> Var:
+        """Declare a trainable parameter (a literal in jaxpr terms)."""
+        node = self.graph.add_node(
+            "iota", (), TensorSpec(tuple(shape), dtype(dt)), node_type="literal",
+            params={"trainable": True}, name=name
+        )
+        return Var(node.id, node.out)
+
+    def literal(self, shape: Sequence[int] = (), dt: str | DType = "float32",
+                name: str = "") -> Var:
+        node = self.graph.add_node(
+            "iota", (), TensorSpec(tuple(shape), dtype(dt)), node_type="literal", name=name
+        )
+        return Var(node.id, node.out)
+
+    def output(self, var: Var, name: str = "") -> Var:
+        node = self.graph.add_node("iota", (var.id,), var.spec, node_type="output", name=name)
+        return Var(node.id, node.out)
+
+    # -------------------------------------------------------------- raw emit
+    def emit(self, op: str, operands: Sequence[Var], out: TensorSpec,
+             params: dict[str, Any] | None = None, name: str = "") -> Var:
+        if not is_registered(op):
+            raise ValueError(f"op {op!r} is not in the registry")
+        node = self.graph.add_node(op, (v.id for v in operands), out, "operator",
+                                   params, name)
+        return Var(node.id, node.out)
+
+    # ----------------------------------------------------------- elementwise
+    def _binary(self, op: str, a: Var, b: Var, out_dt: DType | None = None) -> Var:
+        shape = broadcast_shapes(a.shape, b.shape)
+        dt = out_dt or promote(a.dtype, b.dtype)
+        return self.emit(op, (a, b), TensorSpec(shape, dt))
+
+    def add(self, a: Var, b: Var) -> Var:
+        return self._binary("add", a, b)
+
+    def sub(self, a: Var, b: Var) -> Var:
+        return self._binary("sub", a, b)
+
+    def mul(self, a: Var, b: Var) -> Var:
+        return self._binary("mul", a, b)
+
+    def div(self, a: Var, b: Var) -> Var:
+        return self._binary("div", a, b)
+
+    def maximum(self, a: Var, b: Var) -> Var:
+        return self._binary("max", a, b)
+
+    def minimum(self, a: Var, b: Var) -> Var:
+        return self._binary("min", a, b)
+
+    def pow(self, a: Var, b: Var) -> Var:
+        return self._binary("pow", a, b)
+
+    def compare(self, a: Var, b: Var, direction: str = "gt") -> Var:
+        shape = broadcast_shapes(a.shape, b.shape)
+        return self.emit("compare", (a, b), TensorSpec(shape, BOOL),
+                         params={"direction": direction})
+
+    def select(self, pred: Var, a: Var, b: Var) -> Var:
+        shape = broadcast_shapes(broadcast_shapes(pred.shape, a.shape), b.shape)
+        return self.emit("select", (pred, a, b), TensorSpec(shape, promote(a.dtype, b.dtype)))
+
+    def _unary(self, op: str, a: Var, out_dt: DType | None = None) -> Var:
+        return self.emit(op, (a,), TensorSpec(a.shape, out_dt or a.dtype))
+
+    def neg(self, a: Var) -> Var:
+        return self._unary("neg", a)
+
+    def exp(self, a: Var) -> Var:
+        return self._unary("exp", a)
+
+    def log(self, a: Var) -> Var:
+        return self._unary("log", a)
+
+    def tanh(self, a: Var) -> Var:
+        return self._unary("tanh", a)
+
+    def erf(self, a: Var) -> Var:
+        return self._unary("erf", a)
+
+    def logistic(self, a: Var) -> Var:
+        return self._unary("logistic", a)
+
+    def sqrt(self, a: Var) -> Var:
+        return self._unary("sqrt", a)
+
+    def rsqrt(self, a: Var) -> Var:
+        return self._unary("rsqrt", a)
+
+    def abs(self, a: Var) -> Var:
+        return self._unary("abs", a)
+
+    # ------------------------------------------------------------ reductions
+    def _reduce(self, op: str, a: Var, axes: Sequence[int], keepdims: bool = False,
+                out_dt: DType | None = None) -> Var:
+        axes = tuple(ax % a.spec.rank for ax in axes)
+        if keepdims:
+            shape = tuple(1 if i in axes else s for i, s in enumerate(a.shape))
+        else:
+            shape = tuple(s for i, s in enumerate(a.shape) if i not in axes)
+        return self.emit(op, (a,), TensorSpec(shape, out_dt or a.dtype),
+                         params={"axes": axes, "keepdims": keepdims})
+
+    def reduce_sum(self, a: Var, axes: Sequence[int], keepdims: bool = False) -> Var:
+        return self._reduce("reduce_sum", a, axes, keepdims)
+
+    def reduce_max(self, a: Var, axes: Sequence[int], keepdims: bool = False) -> Var:
+        return self._reduce("reduce_max", a, axes, keepdims)
+
+    def reduce_mean(self, a: Var, axes: Sequence[int], keepdims: bool = False) -> Var:
+        """mean = reduce_sum then scale (two jaxpr equations)."""
+        s = self.reduce_sum(a, axes, keepdims)
+        n = math.prod(a.shape[ax % a.spec.rank] for ax in axes)
+        inv = self.literal((), a.dtype, name=f"1/{n}")
+        return self.mul(s, inv)
+
+    def argmax(self, a: Var, axis: int) -> Var:
+        return self._reduce("argmax", a, (axis,), keepdims=False, out_dt=INT32)
+
+    def cumsum(self, a: Var, axis: int) -> Var:
+        return self.emit("cumsum", (a,), a.spec, params={"axis": axis % a.spec.rank})
+
+    # --------------------------------------------------------- data movement
+    def reshape(self, a: Var, shape: Sequence[int]) -> Var:
+        shape = tuple(int(s) for s in shape)
+        if math.prod(shape) != a.spec.size:
+            raise ValueError(f"cannot reshape {a.shape} -> {shape}")
+        return self.emit("reshape", (a,), TensorSpec(shape, a.dtype))
+
+    def transpose(self, a: Var, perm: Sequence[int]) -> Var:
+        perm = tuple(perm)
+        if sorted(perm) != list(range(a.spec.rank)):
+            raise ValueError(f"bad permutation {perm} for rank {a.spec.rank}")
+        shape = tuple(a.shape[p] for p in perm)
+        return self.emit("transpose", (a,), TensorSpec(shape, a.dtype),
+                         params={"perm": perm})
+
+    def convert(self, a: Var, dt: str | DType) -> Var:
+        return self.emit("convert_element_type", (a,), TensorSpec(a.shape, dtype(dt)))
+
+    def broadcast_to(self, a: Var, shape: Sequence[int]) -> Var:
+        shape = tuple(int(s) for s in shape)
+        broadcast_shapes(a.shape, shape)  # raises if incompatible
+        return self.emit("broadcast_in_dim", (a,), TensorSpec(shape, a.dtype))
+
+    def slice(self, a: Var, starts: Sequence[int], limits: Sequence[int]) -> Var:
+        shape = tuple(l - s for s, l in zip(starts, limits))
+        if any(d <= 0 for d in shape):
+            raise ValueError(f"empty slice {starts}:{limits}")
+        return self.emit("slice", (a,), TensorSpec(shape, a.dtype),
+                         params={"starts": tuple(starts), "limits": tuple(limits)})
+
+    def concatenate(self, parts: Sequence[Var], axis: int) -> Var:
+        base = parts[0]
+        axis = axis % base.spec.rank
+        total = sum(p.shape[axis] for p in parts)
+        shape = tuple(total if i == axis else s for i, s in enumerate(base.shape))
+        return self.emit("concatenate", tuple(parts), TensorSpec(shape, base.dtype),
+                         params={"axis": axis})
+
+    # ------------------------------------------------------------ contraction
+    def matmul(self, a: Var, b: Var, name: str = "") -> Var:
+        """Batched matmul: ``(..., M, K) @ (..., K, N)`` or 2-D weight rhs."""
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"matmul mismatch {a.shape} @ {b.shape}")
+        k = a.shape[-1]
+        batch = broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        shape = batch + (a.shape[-2], b.shape[-1])
+        return self.emit("dot_general", (a, b),
+                         TensorSpec(shape, promote(a.dtype, b.dtype)),
+                         params={"contract": k}, name=name)
+
+    def einsum_contract(self, a: Var, b: Var, out_shape: Sequence[int],
+                        contract: int, name: str = "") -> Var:
+        """General contraction with an explicit output shape and contracted extent."""
+        return self.emit("dot_general", (a, b),
+                         TensorSpec(tuple(out_shape), promote(a.dtype, b.dtype)),
+                         params={"contract": int(contract)}, name=name)
+
+    # ------------------------------------------------------- gather / scatter
+    def gather(self, table: Var, indices: Var, name: str = "") -> Var:
+        """Embedding-style lookup: rows of ``table`` indexed by ``indices``."""
+        shape = indices.shape + table.shape[1:]
+        return self.emit("gather", (table, indices), TensorSpec(shape, table.dtype),
+                         name=name)
+
+    def scatter_add(self, target: Var, indices: Var, updates: Var, name: str = "") -> Var:
+        return self.emit("scatter_add", (target, indices, updates), target.spec, name=name)
+
+    def one_hot(self, indices: Var, depth: int, dt: str | DType = "float32") -> Var:
+        shape = indices.shape + (depth,)
+        return self.emit("one_hot", (indices,), TensorSpec(shape, dtype(dt)),
+                         params={"depth": depth})
+
+    def top_k(self, a: Var, k: int) -> tuple[Var, Var]:
+        """Values and indices of the top ``k`` entries along the last axis."""
+        shape = a.shape[:-1] + (k,)
+        vals = self.emit("top_k", (a,), TensorSpec(shape, a.dtype), params={"k": k})
+        idx = self.emit("top_k", (a,), TensorSpec(shape, INT32),
+                        params={"k": k, "indices": True})
+        return vals, idx
+
+    # ----------------------------------------------------------------- macros
+    def softmax(self, a: Var, axis: int = -1) -> Var:
+        """Numerically-stable softmax expanded to primitive equations."""
+        m = self.reduce_max(a, (axis,), keepdims=True)
+        shifted = self.sub(a, m)
+        e = self.exp(shifted)
+        z = self.reduce_sum(e, (axis,), keepdims=True)
+        return self.div(e, z)
+
+    def gelu(self, a: Var) -> Var:
+        """GELU via erf, as XLA lowers it."""
+        inv_sqrt2 = self.literal((), a.dtype, name="1/sqrt2")
+        half = self.literal((), a.dtype, name="0.5")
+        t = self.erf(self.mul(a, inv_sqrt2))
+        one = self.literal((), a.dtype, name="1")
+        return self.mul(self.mul(a, half), self.add(t, one))
+
+    def relu(self, a: Var) -> Var:
+        zero = self.literal((), a.dtype, name="0")
+        return self.maximum(a, zero)
+
+    def layer_norm(self, a: Var, scale: Var, bias: Var, axis: int = -1,
+                   eps_name: str = "eps") -> Var:
+        mean = self.reduce_mean(a, (axis,), keepdims=True)
+        centered = self.sub(a, mean)
+        var = self.reduce_mean(self.mul(centered, centered), (axis,), keepdims=True)
+        eps = self.literal((), a.dtype, name=eps_name)
+        inv = self.rsqrt(self.add(var, eps))
+        normed = self.mul(centered, inv)
+        return self.add(self.mul(normed, scale), bias)
+
+    # ----------------------------------------------------------------- finish
+    def build(self, validate: bool = True) -> Graph:
+        if validate:
+            self.graph.validate()
+        return self.graph

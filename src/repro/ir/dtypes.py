@@ -1,0 +1,81 @@
+"""Data types for IR tensors.
+
+The IR mirrors the dtype vocabulary that appears in jaxpr dumps of the
+benchmarks (float32/float16 activations, int32 token ids, bool masks).
+Each dtype carries its byte width so downstream cost models can convert
+tensor shapes into memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar element type.
+
+    Attributes:
+        name: canonical name, e.g. ``"float32"``.
+        itemsize: width in bytes.
+        kind: ``"f"`` float, ``"i"`` signed int, ``"u"`` unsigned int,
+            ``"b"`` boolean.
+    """
+
+    name: str
+    itemsize: int
+    kind: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FLOAT64 = DType("float64", 8, "f")
+FLOAT32 = DType("float32", 4, "f")
+FLOAT16 = DType("float16", 2, "f")
+BFLOAT16 = DType("bfloat16", 2, "f")
+INT64 = DType("int64", 8, "i")
+INT32 = DType("int32", 4, "i")
+INT8 = DType("int8", 1, "i")
+UINT32 = DType("uint32", 4, "u")
+BOOL = DType("bool", 1, "b")
+
+#: All dtypes the IR accepts, in the order used for one-hot feature encoding
+#: (Table I: "Output Data Type" one-hot vector).
+ALL_DTYPES: tuple[DType, ...] = (
+    FLOAT64,
+    FLOAT32,
+    FLOAT16,
+    BFLOAT16,
+    INT64,
+    INT32,
+    INT8,
+    UINT32,
+    BOOL,
+)
+
+_BY_NAME = {d.name: d for d in ALL_DTYPES}
+
+
+def dtype(name: str | DType) -> DType:
+    """Resolve ``name`` to a :class:`DType` (idempotent on DType inputs)."""
+    if isinstance(name, DType):
+        return name
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown dtype {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def dtype_index(d: str | DType) -> int:
+    """Position of ``d`` in :data:`ALL_DTYPES` (for one-hot encoding)."""
+    return ALL_DTYPES.index(dtype(d))
+
+
+def promote(a: str | DType, b: str | DType) -> DType:
+    """Binary-op result dtype: wider float wins, float beats int, int beats bool."""
+    da, db = dtype(a), dtype(b)
+    rank = {"b": 0, "u": 1, "i": 2, "f": 3}
+    if rank[da.kind] != rank[db.kind]:
+        return da if rank[da.kind] > rank[db.kind] else db
+    return da if da.itemsize >= db.itemsize else db

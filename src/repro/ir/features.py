@@ -1,0 +1,56 @@
+"""Node feature encoding (Table I).
+
+Each node becomes a fixed-width feature vector:
+
+* **Operator type** — one-hot over the op registry;
+* **Output tensor dimensions** — the output shape, right-padded to
+  :data:`MAX_RANK`, log-scaled (``log1p``) because raw extents would
+  dominate every other feature (§IV-B3);
+* **Output data type** — one-hot over :data:`repro.ir.dtypes.ALL_DTYPES`;
+* **Node type** — one-hot over ``{input, literal, operator, output}``.
+
+Two scalar extras make fused nodes self-describing: log1p of the fused-op
+FLOP budget and the fused-chain length (both zero for ordinary nodes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .dtypes import ALL_DTYPES, dtype_index
+from .graph import NODE_TYPES, Graph, Node
+from .ops import OP_TYPES, op_index
+
+#: Maximum tensor rank encoded; benchmark graphs never exceed it.
+MAX_RANK = 6
+
+#: Total feature width.
+FEATURE_DIM = len(OP_TYPES) + MAX_RANK + len(ALL_DTYPES) + len(NODE_TYPES) + 2
+
+
+def node_features(node: Node) -> np.ndarray:
+    """Encode one node as a float64 vector of length :data:`FEATURE_DIM`."""
+    vec = np.zeros(FEATURE_DIM, dtype=np.float64)
+    off = 0
+    vec[off + op_index(node.op)] = 1.0
+    off += len(OP_TYPES)
+    shape = node.out.shape[:MAX_RANK]
+    for i, s in enumerate(shape):
+        vec[off + i] = math.log1p(s)
+    off += MAX_RANK
+    vec[off + dtype_index(node.out.dtype)] = 1.0
+    off += len(ALL_DTYPES)
+    vec[off + NODE_TYPES.index(node.node_type)] = 1.0
+    off += len(NODE_TYPES)
+    vec[off] = math.log1p(float(node.params.get("flops", 0.0)))
+    vec[off + 1] = float(node.params.get("n_fused", 0))
+    return vec
+
+
+def graph_features(graph: Graph) -> np.ndarray:
+    """Feature matrix of shape ``(len(graph), FEATURE_DIM)``."""
+    if len(graph) == 0:
+        return np.zeros((0, FEATURE_DIM), dtype=np.float64)
+    return np.stack([node_features(n) for n in graph.nodes])

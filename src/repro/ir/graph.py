@@ -1,0 +1,212 @@
+"""Operator-graph IR.
+
+DL model stages are represented the way the paper consumes them: directed
+acyclic graphs whose nodes are *tensor-level* equations (the jaxpr
+abstraction, §IV-B2).  Each node records the operator type, its operands,
+the output :class:`TensorSpec`, and a node type in
+``{input, literal, operator, output}`` (Table I).
+
+Nodes are stored in topological order; every structural mutation goes
+through :class:`Graph` methods that preserve the invariants checked by
+:meth:`Graph.validate`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from .dtypes import DType, dtype
+
+NODE_TYPES = ("input", "literal", "operator", "output")
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype of one tensor value flowing along a graph edge."""
+
+    shape: tuple[int, ...]
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        object.__setattr__(self, "dtype", dtype(self.dtype))
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(math.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        dims = ",".join(map(str, self.shape))
+        return f"{self.dtype.name}[{dims}]"
+
+
+@dataclass
+class Node:
+    """One equation in the stage DAG."""
+
+    id: int
+    op: str
+    inputs: tuple[int, ...]
+    out: TensorSpec
+    node_type: str = "operator"
+    params: dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(int(i) for i in self.inputs)
+        if self.node_type not in NODE_TYPES:
+            raise ValueError(f"bad node_type {self.node_type!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(f"%{i}" for i in self.inputs)
+        label = f" '{self.name}'" if self.name else ""
+        return f"%{self.id}:{self.out} = {self.op}({args}){label}"
+
+
+class Graph:
+    """A DAG of :class:`Node` objects in topological order.
+
+    The node list is append-only from the builder's perspective; passes
+    that drop nodes (pruning, fusion) produce a *new* graph via
+    :meth:`subgraph_without` so ids stay dense and topologically sorted.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: list[Node] = []
+        self._consumers: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_node(
+        self,
+        op: str,
+        inputs: Iterable[int],
+        out: TensorSpec,
+        node_type: str = "operator",
+        params: dict[str, Any] | None = None,
+        name: str = "",
+    ) -> Node:
+        """Append a node; operands must already exist (keeps topo order)."""
+        inputs = tuple(inputs)
+        nid = len(self.nodes)
+        for i in inputs:
+            if not 0 <= i < nid:
+                raise ValueError(f"node {nid} references undefined operand %{i}")
+        node = Node(nid, op, inputs, out, node_type, params or {}, name)
+        self.nodes.append(node)
+        self._consumers[nid] = []
+        for i in inputs:
+            self._consumers[i].append(nid)
+        return node
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __getitem__(self, nid: int) -> Node:
+        return self.nodes[nid]
+
+    def consumers(self, nid: int) -> tuple[int, ...]:
+        return tuple(self._consumers[nid])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(n.inputs) for n in self.nodes)
+
+    def operators(self) -> list[Node]:
+        """Nodes of type ``operator`` (the compute-bearing subset)."""
+        return [n for n in self.nodes if n.node_type == "operator"]
+
+    def inputs(self) -> list[Node]:
+        return [n for n in self.nodes if n.node_type == "input"]
+
+    def outputs(self) -> list[Node]:
+        return [n for n in self.nodes if n.node_type == "output"]
+
+    def literals(self) -> list[Node]:
+        return [n for n in self.nodes if n.node_type == "literal"]
+
+    # ------------------------------------------------------------- invariants
+    def validate(self) -> None:
+        """Check the structural invariants; raise ``ValueError`` on breakage.
+
+        * ids are dense 0..n-1 and match list position;
+        * every operand id precedes its consumer (topological order, which
+          also implies acyclicity);
+        * input/literal nodes have no operands; output nodes have exactly one.
+        """
+        for pos, node in enumerate(self.nodes):
+            if node.id != pos:
+                raise ValueError(f"node id {node.id} at position {pos}")
+            for i in node.inputs:
+                if i >= node.id:
+                    raise ValueError(f"edge %{i} -> %{node.id} breaks topo order")
+            if node.node_type in ("input", "literal") and node.inputs:
+                raise ValueError(f"{node.node_type} node %{node.id} has operands")
+            if node.node_type == "output" and len(node.inputs) != 1:
+                raise ValueError(f"output node %{node.id} must have one operand")
+
+    # ---------------------------------------------------------------- queries
+    def depths(self) -> list[int]:
+        """Longest-path depth of every node from any source (DAGPE input)."""
+        depth = [0] * len(self.nodes)
+        for node in self.nodes:  # topo order makes a single sweep sufficient
+            for i in node.inputs:
+                if depth[i] + 1 > depth[node.id]:
+                    depth[node.id] = depth[i] + 1
+        return depth
+
+    def critical_path_length(self) -> int:
+        """Number of nodes on the longest dependency chain."""
+        return (max(self.depths()) + 1) if self.nodes else 0
+
+    # --------------------------------------------------------------- rewrites
+    def subgraph_without(self, drop: set[int], name: str | None = None) -> "Graph":
+        """Rebuild the graph with ``drop`` nodes removed.
+
+        Consumers of a dropped node are rewired to its (single) operand, so
+        only *pass-through* nodes — exactly one operand — may be dropped.
+        Ids are re-densified; relative order of surviving nodes is kept.
+        """
+        forward: dict[int, int] = {}
+        for nid in drop:
+            node = self.nodes[nid]
+            if len(node.inputs) != 1:
+                raise ValueError(f"cannot drop %{nid}: not a pass-through node")
+            forward[nid] = node.inputs[0]
+
+        def resolve(nid: int) -> int:
+            while nid in forward:
+                nid = forward[nid]
+            return nid
+
+        out = Graph(name or self.name)
+        remap: dict[int, int] = {}
+        for node in self.nodes:
+            if node.id in drop:
+                continue
+            new_inputs = tuple(remap[resolve(i)] for i in node.inputs)
+            new = out.add_node(
+                node.op, new_inputs, node.out, node.node_type, dict(node.params), node.name
+            )
+            remap[node.id] = new.id
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph({self.name!r}, nodes={len(self.nodes)}, edges={self.num_edges})"

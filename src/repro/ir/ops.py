@@ -1,0 +1,170 @@
+"""Operator registry with compute/memory accounting.
+
+Every op that may appear in a stage DAG is registered here with enough
+metadata for (a) the Table-I one-hot operator-type feature and (b) the
+roofline cost model in :mod:`repro.runtime.opcost`: a FLOP estimator and a
+bytes-touched estimator, both functions of the node and its operand specs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .graph import Node, TensorSpec
+
+FlopFn = Callable[[Node, Sequence[TensorSpec]], float]
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Static description of one operator type."""
+
+    name: str
+    category: str  # contraction | elementwise | reduction | data_movement | gather_scatter
+    flops: FlopFn
+    prunable: bool = False  # removable by the §IV-B4 pruning pass
+    fusable: bool = False  # may be folded into an elementwise fusion group
+
+
+_REGISTRY: dict[str, OpDef] = {}
+
+
+def register(opdef: OpDef) -> OpDef:
+    if opdef.name in _REGISTRY:
+        raise ValueError(f"op {opdef.name!r} already registered")
+    _REGISTRY[opdef.name] = opdef
+    return opdef
+
+
+def op_def(name: str) -> OpDef:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown op {name!r}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+# --------------------------------------------------------------------- FLOPs
+def _zero_flops(node: Node, ins: Sequence[TensorSpec]) -> float:
+    return 0.0
+
+
+def _eltwise_flops(factor: float) -> FlopFn:
+    def fn(node: Node, ins: Sequence[TensorSpec]) -> float:
+        return factor * node.out.size
+
+    return fn
+
+
+def _reduce_flops(node: Node, ins: Sequence[TensorSpec]) -> float:
+    # one accumulate per input element
+    return float(ins[0].size) if ins else 0.0
+
+
+def _dot_general_flops(node: Node, ins: Sequence[TensorSpec]) -> float:
+    """2 * batch * M * N * K multiply-accumulates.
+
+    ``K`` is recovered from the contracted extent recorded by the builder
+    (``params["contract"]``); batch*M*N is the output size.
+    """
+    k = int(node.params.get("contract", 1))
+    return 2.0 * node.out.size * k
+
+
+def _gather_flops(node: Node, ins: Sequence[TensorSpec]) -> float:
+    # address computation, ~1 op per gathered element
+    return float(node.out.size)
+
+
+def _topk_flops(node: Node, ins: Sequence[TensorSpec]) -> float:
+    # partial selection over the routed axis: n log2(k) comparisons
+    k = max(int(node.params.get("k", 1)), 2)
+    n = ins[0].size if ins else node.out.size
+    return float(n) * math.log2(k)
+
+
+def _ops(*defs: OpDef) -> None:
+    for d in defs:
+        register(d)
+
+
+_ops(
+    # -- contractions -------------------------------------------------------
+    OpDef("dot_general", "contraction", _dot_general_flops),
+    # -- elementwise binary -------------------------------------------------
+    OpDef("add", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("sub", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("mul", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("div", "elementwise", _eltwise_flops(4), fusable=True),
+    OpDef("max", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("min", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("pow", "elementwise", _eltwise_flops(8), fusable=True),
+    # -- elementwise unary --------------------------------------------------
+    OpDef("neg", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("abs", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("sign", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("exp", "elementwise", _eltwise_flops(8), fusable=True),
+    OpDef("log", "elementwise", _eltwise_flops(8), fusable=True),
+    OpDef("tanh", "elementwise", _eltwise_flops(10), fusable=True),
+    OpDef("erf", "elementwise", _eltwise_flops(10), fusable=True),
+    OpDef("logistic", "elementwise", _eltwise_flops(10), fusable=True),
+    OpDef("sqrt", "elementwise", _eltwise_flops(4), fusable=True),
+    OpDef("rsqrt", "elementwise", _eltwise_flops(4), fusable=True),
+    OpDef("compare", "elementwise", _eltwise_flops(1), fusable=True),
+    OpDef("select", "elementwise", _eltwise_flops(1), fusable=True),
+    # -- reductions ----------------------------------------------------------
+    OpDef("reduce_sum", "reduction", _reduce_flops),
+    OpDef("reduce_max", "reduction", _reduce_flops),
+    OpDef("reduce_min", "reduction", _reduce_flops),
+    OpDef("argmax", "reduction", _reduce_flops),
+    OpDef("cumsum", "reduction", _reduce_flops),
+    # -- data movement -------------------------------------------------------
+    OpDef("reshape", "data_movement", _zero_flops, prunable=True),
+    OpDef("convert_element_type", "data_movement", _zero_flops, prunable=True),
+    OpDef("broadcast_in_dim", "data_movement", _zero_flops, prunable=True),
+    OpDef("transpose", "data_movement", _zero_flops),
+    OpDef("slice", "data_movement", _zero_flops),
+    OpDef("concatenate", "data_movement", _zero_flops),
+    OpDef("pad", "data_movement", _zero_flops),
+    # -- gather / scatter / indexing ------------------------------------------
+    OpDef("gather", "gather_scatter", _gather_flops),
+    OpDef("scatter_add", "gather_scatter", _gather_flops),
+    OpDef("one_hot", "gather_scatter", _eltwise_flops(1)),
+    OpDef("iota", "gather_scatter", _zero_flops),
+    OpDef("top_k", "gather_scatter", _topk_flops),
+    # -- synthetic: chain of elementwise ops folded into one kernel ------------
+    OpDef("fused_elementwise", "elementwise",
+          lambda node, ins: float(node.params.get("flops", node.out.size))),
+)
+
+#: Canonical op ordering for the Table-I one-hot operator-type feature.
+OP_TYPES: tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def op_index(name: str) -> int:
+    """Position of ``name`` in :data:`OP_TYPES`."""
+    try:
+        return OP_TYPES.index(name)
+    except ValueError:
+        raise ValueError(f"unknown op {name!r}") from None
+
+
+# ---------------------------------------------------------------- accounting
+def node_flops(node: Node, input_specs: Sequence[TensorSpec]) -> float:
+    """FLOPs executed by ``node`` (0 for non-operator nodes)."""
+    if node.node_type != "operator":
+        return 0.0
+    return op_def(node.op).flops(node, input_specs)
+
+
+def node_bytes(node: Node, input_specs: Sequence[TensorSpec]) -> float:
+    """Bytes moved to/from memory by ``node`` (reads + writes)."""
+    if node.node_type != "operator":
+        return 0.0
+    read = sum(s.nbytes for s in input_specs)
+    return float(read + node.out.nbytes)

@@ -1,0 +1,56 @@
+"""Graph pruning (§IV-B4).
+
+Jaxpr-derived graphs carry many pure data-movement equations —
+``reshape``, ``convert_element_type``, ``broadcast_in_dim`` — whose effect
+is recoverable from the dtype/shape recorded on the surviving nodes: if two
+connected nodes disagree on dtype, a conversion evidently happened between
+them.  Removing them keeps graph sizes manageable for the predictor without
+losing information.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .ops import op_def
+
+
+def prunable_nodes(graph: Graph) -> set[int]:
+    """Ids of operator nodes the §IV-B4 pass removes.
+
+    A node is pruned when its op is registered ``prunable``, it has exactly
+    one operand (pass-through), and it is not itself a graph output's
+    source... outputs keep their producer so the stage interface is intact.
+    """
+    protected = {n.inputs[0] for n in graph.outputs()}
+    drop: set[int] = set()
+    for node in graph.operators():
+        if node.id in protected:
+            continue
+        if len(node.inputs) != 1:
+            continue
+        if op_def(node.op).prunable:
+            drop.add(node.id)
+    return drop
+
+
+def prune_graph(graph: Graph) -> Graph:
+    """Return a new graph with redundant data-movement nodes removed.
+
+    The pass iterates to a fixed point (pruning can expose new single-input
+    chains only in pathological graphs, but a second sweep is cheap and
+    makes the invariant ``prunable_nodes(result) == {}`` unconditional).
+    """
+    graph.validate()
+    out = graph
+    while True:
+        drop = prunable_nodes(out)
+        if not drop:
+            return out
+        out = out.subgraph_without(drop, name=graph.name + "+pruned")
+
+
+def pruning_ratio(before: Graph, after: Graph) -> float:
+    """Fraction of nodes removed by pruning."""
+    if len(before) == 0:
+        return 0.0
+    return 1.0 - len(after) / len(before)

@@ -1,0 +1,68 @@
+"""JSON (de)serialization of stage graphs.
+
+Used by the dataset cache so profiled stage corpora can be written to disk
+once and reused across predictor-training runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .dtypes import dtype
+from .graph import Graph, TensorSpec
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    return {
+        "name": graph.name,
+        "nodes": [
+            {
+                "op": n.op,
+                "inputs": list(n.inputs),
+                "shape": list(n.out.shape),
+                "dtype": n.out.dtype.name,
+                "node_type": n.node_type,
+                "params": _encode_params(n.params),
+                "label": n.name,
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> Graph:
+    g = Graph(data.get("name", "graph"))
+    for nd in data["nodes"]:
+        g.add_node(
+            nd["op"],
+            nd["inputs"],
+            TensorSpec(tuple(nd["shape"]), dtype(nd["dtype"])),
+            nd.get("node_type", "operator"),
+            _decode_params(nd.get("params", {})),
+            nd.get("label", ""),
+        )
+    g.validate()
+    return g
+
+
+def dumps(graph: Graph) -> str:
+    return json.dumps(graph_to_dict(graph))
+
+
+def loads(text: str) -> Graph:
+    return graph_from_dict(json.loads(text))
+
+
+def _encode_params(params: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for k, v in params.items():
+        out[k] = list(v) if isinstance(v, tuple) else v
+    return out
+
+
+def _decode_params(params: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for k, v in params.items():
+        out[k] = tuple(v) if isinstance(v, list) else v
+    return out

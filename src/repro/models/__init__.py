@@ -1,0 +1,19 @@
+"""Benchmark model zoo: GPT-3 and GShard-MoE as operator graphs."""
+
+from .clustering import Clustering, cluster_layers, stage_count
+from .configs import BENCHMARKS, GPT3_1_3B, MOE_2_6B, ModelConfig, benchmark_config
+from .layers import (
+    EmbeddingLayer,
+    Layer,
+    LMHeadLayer,
+    MoELayer,
+    TransformerLayer,
+)
+from .model import Model, build_gpt, build_model, build_moe
+
+__all__ = [
+    "ModelConfig", "GPT3_1_3B", "MOE_2_6B", "BENCHMARKS", "benchmark_config",
+    "Layer", "EmbeddingLayer", "TransformerLayer", "MoELayer", "LMHeadLayer",
+    "Model", "build_gpt", "build_moe", "build_model",
+    "Clustering", "cluster_layers", "stage_count",
+]

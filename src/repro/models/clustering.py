@@ -1,0 +1,92 @@
+"""Layer clustering for stage enumeration.
+
+Alpa first clusters the operator graph into a smaller number of roughly
+equal-cost *layer units* and slices stages at unit boundaries; the number
+of candidate stages is then ``U·(U+1)/2`` for ``U`` units.  The paper's
+corpora (409 GPT-3 stages, 205 MoE stages) correspond to enumerating all
+contiguous slices over such a clustering and profiling each slice.
+
+We cluster by balancing per-layer parameter counts (a faithful proxy for
+training FLOPs, which are ``~6·params·tokens`` for these models) with a
+greedy prefix partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import Model
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """Partition of a model's layers into contiguous units."""
+
+    model_name: str
+    #: unit i covers layers [bounds[i], bounds[i+1])
+    bounds: tuple[int, ...]
+
+    @property
+    def n_units(self) -> int:
+        return len(self.bounds) - 1
+
+    def unit_range(self, u: int) -> tuple[int, int]:
+        return self.bounds[u], self.bounds[u + 1]
+
+    def slice_range(self, u_start: int, u_end: int) -> tuple[int, int]:
+        """Layer range covered by units ``[u_start, u_end)``."""
+        if not 0 <= u_start < u_end <= self.n_units:
+            raise ValueError(f"bad unit slice [{u_start}, {u_end})")
+        return self.bounds[u_start], self.bounds[u_end]
+
+    def all_slices(self) -> list[tuple[int, int]]:
+        """Every contiguous unit slice, as layer ranges (U·(U+1)/2 of them)."""
+        out = []
+        for i in range(self.n_units):
+            for j in range(i + 1, self.n_units + 1):
+                out.append(self.slice_range(i, j))
+        return out
+
+
+def cluster_layers(model: Model, n_units: int) -> Clustering:
+    """Balanced contiguous partition of layers into exactly ``n_units`` units.
+
+    Each unit's weight is its parameter count (a faithful proxy for
+    training FLOPs); the classic linear-partition dynamic program finds
+    the partition minimizing the maximum unit weight in O(n²·k).
+    """
+    n_layers = len(model.layers)
+    if not 1 <= n_units <= n_layers:
+        raise ValueError(f"n_units must be in [1, {n_layers}], got {n_units}")
+    weights = [float(l.param_count()) for l in model.layers]
+    prefix = [0.0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+
+    def seg(i: int, j: int) -> float:  # weight of layers [i, j)
+        return prefix[j] - prefix[i]
+
+    INF = float("inf")
+    # best[k][j]: minimal max-unit-weight partitioning layers [0, j) into k
+    best = [[INF] * (n_layers + 1) for _ in range(n_units + 1)]
+    back = [[0] * (n_layers + 1) for _ in range(n_units + 1)]
+    best[0][0] = 0.0
+    for k in range(1, n_units + 1):
+        for j in range(k, n_layers + 1):
+            for i in range(k - 1, j):
+                cand = max(best[k - 1][i], seg(i, j))
+                if cand < best[k][j]:
+                    best[k][j] = cand
+                    back[k][j] = i
+    bounds = [n_layers]
+    j = n_layers
+    for k in range(n_units, 0, -1):
+        j = back[k][j]
+        bounds.append(j)
+    bounds.reverse()
+    return Clustering(model.name, tuple(bounds))
+
+
+def stage_count(n_units: int) -> int:
+    """Number of contiguous slices over ``n_units`` units."""
+    return n_units * (n_units + 1) // 2

@@ -1,0 +1,97 @@
+"""Benchmark model specifications (Table IV) and scaled-down variants.
+
+The paper evaluates two models:
+
+* **GPT-3 1.3B** — seq 1024, hidden 2048, 24 layers, 32 heads, vocab 51200;
+* **GShard MoE 2.6B** — seq 1024, hidden 768, 32 layers, 16 heads, vocab
+  32000, 16 experts, expert group size 2048.
+
+Because predictor training in pure numpy is the expensive part of the
+reproduction, each benchmark also has reduced-depth variants used by the
+``smoke``/``fast`` experiment profiles (§ DESIGN.md); widths and the
+hidden/head/vocab structure are preserved so the operator mix and shape
+distribution match the full models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyperparameters shared by both benchmark families."""
+
+    name: str
+    family: str  # "gpt" | "moe"
+    seq_len: int
+    hidden: int
+    n_layers: int
+    n_heads: int
+    vocab: int
+    ffn_mult: int = 4
+    #: MoE only: number of experts; 0 disables MoE layers
+    n_experts: int = 0
+    #: MoE only: expert group size (tokens routed together)
+    expert_group: int = 0
+    #: MoE only: top-k routing fan-out
+    router_topk: int = 2
+    #: MoE only: every ``moe_freq``-th block routes its FFN through experts
+    #: (GShard alternates, ``2``; Table IV's 2.6B total needs every block, ``1``)
+    moe_freq: int = 1
+    #: microbatch size used when emitting stage graphs
+    microbatch: int = 4
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.n_heads:
+            raise ValueError("hidden must divide evenly into heads")
+        if self.family == "moe" and self.n_experts < 2:
+            raise ValueError("MoE config needs n_experts >= 2")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.n_heads
+
+    @property
+    def ffn(self) -> int:
+        return self.hidden * self.ffn_mult
+
+    @property
+    def expert_capacity(self) -> int:
+        """Tokens per expert per group under top-k routing."""
+        if not self.n_experts:
+            return 0
+        return max(1, self.expert_group * self.router_topk // self.n_experts)
+
+    def scaled(self, n_layers: int, name_suffix: str = "") -> "ModelConfig":
+        """Same widths, reduced depth (for cheap experiment profiles)."""
+        return replace(self, n_layers=n_layers,
+                       name=f"{self.name}{name_suffix or f'-{n_layers}l'}")
+
+
+#: GPT-3 1.3B (Table IV, left column).
+GPT3_1_3B = ModelConfig(
+    name="gpt3-1.3b", family="gpt", seq_len=1024, hidden=2048,
+    n_layers=24, n_heads=32, vocab=51200,
+)
+
+#: GShard MoE 2.6B (Table IV, right column).
+MOE_2_6B = ModelConfig(
+    name="moe-2.6b", family="moe", seq_len=1024, hidden=768,
+    n_layers=32, n_heads=16, vocab=32000,
+    n_experts=16, expert_group=2048,
+)
+
+BENCHMARKS = {"gpt": GPT3_1_3B, "moe": MOE_2_6B}
+
+
+def benchmark_config(family: str, n_layers: int | None = None) -> ModelConfig:
+    """Look up a benchmark config, optionally depth-scaled."""
+    try:
+        cfg = BENCHMARKS[family]
+    except KeyError:
+        raise ValueError(f"unknown benchmark family {family!r}") from None
+    if n_layers is not None and n_layers != cfg.n_layers:
+        return cfg.scaled(n_layers)
+    return cfg

@@ -1,0 +1,204 @@
+"""Layer library: emits tensor-level equations for the benchmark models.
+
+Each :class:`Layer` knows how to trace itself into a
+:class:`~repro.ir.builder.GraphBuilder` — the moral equivalent of running
+the JAX layer under ``jax.make_jaxpr``.  Stage graphs (§IV-B2) are built by
+tracing a contiguous run of layers (see :mod:`repro.models.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.builder import GraphBuilder, Var
+from ..ir.graph import TensorSpec
+from .configs import ModelConfig
+
+
+@dataclass
+class Layer:
+    """Base class: one pipeline-sliceable unit of the model."""
+
+    cfg: ModelConfig
+    index: int
+    name: str = field(default="", init=False)
+
+    #: "tokens" for the embedding layer, "hidden" for everything else
+    input_kind: str = "hidden"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def param_count(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def flops_per_token(self) -> float:
+        """Rough forward FLOPs per token (used by layer clustering)."""
+        return 2.0 * self.param_count() / max(1, self.cfg.seq_len * 0 + 1)
+
+
+def _linear(b: GraphBuilder, x: Var, w_name: str, d_in: int, d_out: int,
+            dtype: str, bias: bool = True) -> Var:
+    w = b.param(w_name, (d_in, d_out), dtype)
+    y = b.matmul(x, w, name=w_name)
+    if bias:
+        bia = b.param(w_name + "_b", (d_out,), dtype)
+        y = b.add(y, bia)
+    return y
+
+
+def emit_attention(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str) -> Var:
+    """Multi-head self-attention with causal mask, traced to primitives."""
+    B, S, H = x.shape
+    nh, dh = cfg.n_heads, cfg.head_dim
+    dt = cfg.dtype
+    q = _linear(b, x, f"{prefix}.wq", H, H, dt)
+    k = _linear(b, x, f"{prefix}.wk", H, H, dt)
+    v = _linear(b, x, f"{prefix}.wv", H, H, dt)
+
+    def split_heads(t: Var) -> Var:
+        t = b.reshape(t, (B, S, nh, dh))
+        return b.transpose(t, (0, 2, 1, 3))
+
+    qh, kh, vh = split_heads(q), split_heads(k), split_heads(v)
+    scores = b.einsum_contract(qh, kh, (B, nh, S, S), contract=dh,
+                               name=f"{prefix}.qk")
+    scale = b.literal((), dt, name="1/sqrt(dh)")
+    scores = b.mul(scores, scale)
+    causal = b.literal((1, 1, S, S), dt, name="causal_mask")
+    scores = b.add(scores, causal)
+    attn = b.softmax(scores, axis=-1)
+    ctx = b.einsum_contract(attn, vh, (B, nh, S, dh), contract=S,
+                            name=f"{prefix}.av")
+    ctx = b.transpose(ctx, (0, 2, 1, 3))
+    ctx = b.reshape(ctx, (B, S, H))
+    return _linear(b, ctx, f"{prefix}.wo", H, H, dt)
+
+
+def emit_layer_norm(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str) -> Var:
+    scale = b.param(f"{prefix}.scale", (x.shape[-1],), cfg.dtype)
+    bias = b.param(f"{prefix}.bias", (x.shape[-1],), cfg.dtype)
+    return b.layer_norm(x, scale, bias)
+
+
+def emit_mlp(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str) -> Var:
+    h = _linear(b, x, f"{prefix}.fc1", cfg.hidden, cfg.ffn, cfg.dtype)
+    h = b.gelu(h)
+    return _linear(b, h, f"{prefix}.fc2", cfg.ffn, cfg.hidden, cfg.dtype)
+
+
+def emit_moe_ffn(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str) -> Var:
+    """GShard-style top-k routed expert FFN, traced to primitives."""
+    B, S, H = x.shape
+    E, kk, dt = cfg.n_experts, cfg.router_topk, cfg.dtype
+    tokens = B * S
+    cap = max(1, tokens * kk // E)  # per-expert capacity over this microbatch
+
+    # router
+    wg = b.param(f"{prefix}.wg", (H, E), dt)
+    flat = b.reshape(x, (tokens, H))
+    logits = b.matmul(flat, wg, name=f"{prefix}.gate")
+    probs = b.softmax(logits, axis=-1)
+    vals, idx = b.top_k(probs, kk)
+    mask = b.one_hot(idx, E, dt)                       # (tokens, k, E)
+    pos = b.cumsum(mask, axis=0)                       # position within expert
+    keep = b.compare(pos, b.broadcast_to(b.literal((), dt, name="cap"),
+                                         pos.shape), "lt")
+    gated = b.mul(mask, b.convert(keep, dt))
+    weights = b.mul(gated, b.reshape(vals, (tokens, kk, 1)))
+
+    # dispatch: (E*cap, tokens) x (tokens, H) -> per-expert token slabs
+    disp = b.reshape(weights, (tokens, kk * E))
+    dispatched = b.einsum_contract(disp, flat, (E, cap, H), contract=tokens,
+                                   name=f"{prefix}.dispatch")
+
+    # expert FFN, batched over E
+    w1 = b.param(f"{prefix}.w1", (E, H, cfg.ffn), dt)
+    h1 = b.einsum_contract(dispatched, w1, (E, cap, cfg.ffn), contract=H,
+                           name=f"{prefix}.expert1")
+    h1 = b.gelu(h1)
+    w2 = b.param(f"{prefix}.w2", (E, cfg.ffn, H), dt)
+    h2 = b.einsum_contract(h1, w2, (E, cap, H), contract=cfg.ffn,
+                           name=f"{prefix}.expert2")
+
+    # combine back to token order, weighted by gate values
+    combined = b.einsum_contract(disp, b.reshape(h2, (E * cap, H)),
+                                 (tokens, H), contract=E * cap,
+                                 name=f"{prefix}.combine")
+    return b.reshape(combined, (B, S, H))
+
+
+@dataclass
+class EmbeddingLayer(Layer):
+    input_kind: str = "tokens"
+
+    def __post_init__(self) -> None:
+        self.name = "embed"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:
+        cfg = self.cfg
+        wte = b.param("wte", (cfg.vocab, cfg.hidden), cfg.dtype)
+        wpe = b.param("wpe", (cfg.seq_len, cfg.hidden), cfg.dtype)
+        tok = b.gather(wte, x, name="embed_tokens")
+        posi = b.emit("iota", (), TensorSpec((cfg.seq_len,), "int32"),
+                      name="positions")
+        pos = b.gather(wpe, posi, name="embed_positions")
+        return b.add(tok, pos)
+
+    def param_count(self) -> int:
+        return (self.cfg.vocab + self.cfg.seq_len) * self.cfg.hidden
+
+
+@dataclass
+class TransformerLayer(Layer):
+    def __post_init__(self) -> None:
+        self.name = f"block{self.index}"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:
+        cfg, p = self.cfg, self.name
+        h = emit_layer_norm(b, x, cfg, f"{p}.ln1")
+        h = emit_attention(b, h, cfg, f"{p}.attn")
+        x = b.add(x, h)
+        h = emit_layer_norm(b, x, cfg, f"{p}.ln2")
+        h = emit_mlp(b, h, cfg, f"{p}.mlp")
+        return b.add(x, h)
+
+    def param_count(self) -> int:
+        cfg = self.cfg
+        return 4 * cfg.hidden * cfg.hidden + 2 * cfg.hidden * cfg.ffn + 4 * cfg.hidden
+
+
+@dataclass
+class MoELayer(Layer):
+    def __post_init__(self) -> None:
+        self.name = f"moe_block{self.index}"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:
+        cfg, p = self.cfg, self.name
+        h = emit_layer_norm(b, x, cfg, f"{p}.ln1")
+        h = emit_attention(b, h, cfg, f"{p}.attn")
+        x = b.add(x, h)
+        h = emit_layer_norm(b, x, cfg, f"{p}.ln2")
+        h = emit_moe_ffn(b, h, cfg, f"{p}.moe")
+        return b.add(x, h)
+
+    def param_count(self) -> int:
+        cfg = self.cfg
+        return (4 * cfg.hidden * cfg.hidden
+                + cfg.n_experts * 2 * cfg.hidden * cfg.ffn
+                + cfg.hidden * cfg.n_experts + 4 * cfg.hidden)
+
+
+@dataclass
+class LMHeadLayer(Layer):
+    def __post_init__(self) -> None:
+        self.name = "lm_head"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:
+        cfg = self.cfg
+        h = emit_layer_norm(b, x, cfg, "ln_f")
+        w = b.param("lm_head.w", (cfg.hidden, cfg.vocab), cfg.dtype)
+        return b.matmul(h, w, name="logits")
+
+    def param_count(self) -> int:
+        return self.cfg.hidden * self.cfg.vocab + 2 * self.cfg.hidden

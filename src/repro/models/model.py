@@ -1,0 +1,96 @@
+"""Model = an ordered list of layers + stage-graph tracing.
+
+A *stage* is a contiguous run of layers (inter-operator parallelism slices
+the model this way).  :meth:`Model.stage_graph` traces layers
+``[start, end)`` into a fresh operator DAG whose input is either token ids
+(if the run begins at the embedding) or a hidden-state activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .configs import ModelConfig
+from .layers import EmbeddingLayer, Layer, LMHeadLayer, MoELayer, TransformerLayer
+
+
+@dataclass
+class Model:
+    """One benchmark model as a sliceable layer sequence."""
+
+    cfg: ModelConfig
+    layers: list[Layer]
+
+    @property
+    def name(self) -> str:
+        return self.cfg.name
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def param_count(self) -> int:
+        return sum(l.param_count() for l in self.layers)
+
+    def stage_graph(self, start: int, end: int,
+                    microbatch: int | None = None) -> Graph:
+        """Trace layers ``[start, end)`` into a forward stage DAG."""
+        if not 0 <= start < end <= len(self.layers):
+            raise ValueError(f"bad stage slice [{start}, {end})")
+        cfg = self.cfg
+        B = microbatch or cfg.microbatch
+        b = GraphBuilder(f"{self.name}[{start}:{end}]")
+        first = self.layers[start]
+        if first.input_kind == "tokens":
+            x = b.input("tokens", (B, cfg.seq_len), "int32")
+        else:
+            x = b.input("hidden_in", (B, cfg.seq_len, cfg.hidden), cfg.dtype)
+        for layer in self.layers[start:end]:
+            x = layer.emit(b, x)
+        b.output(x, "stage_out")
+        return b.build()
+
+    def full_graph(self, microbatch: int | None = None) -> Graph:
+        """The whole model as one graph (single-stage execution)."""
+        return self.stage_graph(0, len(self.layers), microbatch)
+
+    def activation_bytes(self, microbatch: int | None = None) -> int:
+        """Bytes of the activation crossing any stage boundary."""
+        cfg = self.cfg
+        B = microbatch or cfg.microbatch
+        return B * cfg.seq_len * cfg.hidden * 4
+
+    def slice_param_count(self, start: int, end: int) -> int:
+        return sum(l.param_count() for l in self.layers[start:end])
+
+
+def build_gpt(cfg: ModelConfig) -> Model:
+    """GPT-3-style decoder stack: embed, N transformer blocks, LM head."""
+    layers: list[Layer] = [EmbeddingLayer(cfg, 0)]
+    layers += [TransformerLayer(cfg, i + 1) for i in range(cfg.n_layers)]
+    layers.append(LMHeadLayer(cfg, cfg.n_layers + 1))
+    return Model(cfg, layers)
+
+
+def build_moe(cfg: ModelConfig) -> Model:
+    """GShard-style stack: every other block routes its FFN through experts."""
+    layers: list[Layer] = [EmbeddingLayer(cfg, 0)]
+    for i in range(cfg.n_layers):
+        if i % cfg.moe_freq == cfg.moe_freq - 1:
+            layers.append(MoELayer(cfg, i + 1))
+        else:
+            layers.append(TransformerLayer(cfg, i + 1))
+    layers.append(LMHeadLayer(cfg, cfg.n_layers + 1))
+    return Model(cfg, layers)
+
+
+def build_model(cfg: ModelConfig) -> Model:
+    """Dispatch on the config family."""
+    if cfg.family == "gpt":
+        return build_gpt(cfg)
+    if cfg.family == "moe":
+        return build_moe(cfg)
+    raise ValueError(f"unknown model family {cfg.family!r}")

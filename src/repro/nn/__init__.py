@@ -1,0 +1,26 @@
+"""numpy autograd NN framework (the PyTorch stand-in for the predictors)."""
+
+from .functional import gelu, log1p, mae, masked_mean, mse, softmax
+from .layers import (
+    GATConv,
+    GCNConv,
+    LayerNorm,
+    Linear,
+    MaskedMultiHeadAttention,
+    Module,
+    ReLU,
+    Sequential,
+    global_add_pool,
+    xavier,
+)
+from .optim import Adam, CosineDecay
+from .tensor import Tensor
+
+__all__ = [
+    "Tensor",
+    "softmax", "gelu", "log1p", "mse", "mae", "masked_mean",
+    "Module", "Linear", "LayerNorm", "Sequential", "ReLU",
+    "MaskedMultiHeadAttention", "GCNConv", "GATConv", "global_add_pool",
+    "xavier",
+    "Adam", "CosineDecay",
+]

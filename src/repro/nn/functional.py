@@ -1,0 +1,52 @@
+"""Functional ops composed from Tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Array, Tensor
+
+
+def softmax(x: Tensor, axis: int = -1, mask: Array | None = None) -> Tensor:
+    """Numerically-stable softmax with an optional additive mask.
+
+    ``mask`` follows Eqn 1: entries are 0 where attention is allowed and a
+    large negative number where it is forbidden.  It is a constant (no
+    gradient flows into it).  Rows that are entirely masked produce a
+    uniform distribution over the masked row rather than NaNs; callers
+    multiply those rows away with node masks.
+    """
+    if mask is not None:
+        x = x + Tensor(mask)
+    m = Tensor(x.data.max(axis=axis, keepdims=True))  # constant shift
+    e = (x - m).exp()
+    z = e.sum(axis=axis, keepdims=True)
+    return e / (z + 1e-9)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """tanh-approximation GELU."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + x * x * x * 0.044715) * c
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def log1p(x: Tensor) -> Tensor:
+    return (x + 1.0).log()
+
+
+def mse(pred: Tensor, target: Array) -> Tensor:
+    d = pred - Tensor(target)
+    return (d * d).mean()
+
+
+def mae(pred: Tensor, target: Array) -> Tensor:
+    return (pred - Tensor(target)).abs().mean()
+
+
+def masked_mean(x: Tensor, mask: Array, axis: int) -> Tensor:
+    """Mean over ``axis`` counting only positions where ``mask`` is 1."""
+    m = Tensor(mask)
+    total = (x * m).sum(axis=axis)
+    count = np.maximum(mask.sum(axis=axis), 1.0)
+    return total * Tensor(1.0 / count)

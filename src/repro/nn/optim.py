@@ -1,0 +1,81 @@
+"""Optimizers and learning-rate schedules (§IV-B6).
+
+Adam with the paper's defaults (β₁ = 0.9, β₂ = 0.999) plus a cosine decay
+schedule running from the initial rate to zero over the training budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Adam:
+    """Adam (Kingma & Ba) over a fixed parameter list."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.t = 0
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self.t
+        bias2 = 1.0 - b2 ** self.t
+        for p, m, v in zip(self.params, self.m, self.v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class CosineDecay:
+    """LR decays from ``lr0`` at epoch 0 to 0 at ``total_epochs`` (§IV-B6).
+
+    An optional linear warm-up over the first ``warmup_frac`` of the
+    budget precedes the cosine; ``warmup_frac=0`` gives the paper's plain
+    cosine.
+    """
+
+    def __init__(self, optimizer: Adam, lr0: float, total_epochs: int,
+                 warmup_frac: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if not 0.0 <= warmup_frac < 1.0:
+            raise ValueError("warmup_frac must be in [0, 1)")
+        self.opt = optimizer
+        self.lr0 = lr0
+        self.total = total_epochs
+        self.warmup = int(round(warmup_frac * total_epochs))
+        self.epoch = 0
+        self.opt.lr = lr0 / max(1, self.warmup) if self.warmup else lr0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch = min(self.epoch + 1, self.total)
+        if self.epoch < self.warmup:
+            lr = self.lr0 * (self.epoch + 1) / self.warmup
+        else:
+            t = self.epoch - self.warmup
+            span = max(1, self.total - self.warmup)
+            lr = 0.5 * self.lr0 * (1.0 + math.cos(math.pi * t / span))
+        self.opt.lr = lr
+        return lr

@@ -1,0 +1,399 @@
+"""Reverse-mode autograd over numpy arrays.
+
+The predictor stack (§IV-B) needs exactly the PyTorch subset used by the
+paper: dense linear algebra, broadcasting arithmetic, reductions, softmax
+with additive masks, and gradient descent.  This module provides a small
+define-by-run :class:`Tensor` with a topologically-ordered backward pass;
+everything stores float32 (the BLAS-fast dtype) unless told otherwise.
+
+Design notes (per the HPC guides): all ops are vectorized numpy; gradient
+accumulation is in-place (``+=``); broadcasting gradients are reduced with
+a single ``sum`` per mismatched axis group; no per-element Python loops
+anywhere on the hot path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad():
+    """Disable tape construction (evaluation mode).
+
+    Inside the context, results of Tensor ops carry no backward closures,
+    so intermediate arrays are freed by reference counting as soon as they
+    go out of scope — important for batched evaluation on a small-memory
+    host.
+    """
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _as_array(x, dtype=np.float32) -> Array:
+    if isinstance(x, np.ndarray):
+        return x.astype(dtype, copy=False)
+    return np.asarray(x, dtype=dtype)
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus an autograd tape node."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, name: str = "") -> None:
+        self.data: Array = _as_array(data)
+        self.grad: Array | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ----------------------------------------------------------- properties
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def numpy(self) -> Array:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    # ------------------------------------------------------------- plumbing
+    def _make(self, data: Array, parents: Sequence["Tensor"],
+              backward: Callable[["Tensor"], None] | None) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED:
+            out.requires_grad = any(p.requires_grad for p in parents)
+            if out.requires_grad and backward is not None:
+                out._prev = tuple(parents)
+                out._backward = lambda: backward(out)
+        return out
+
+    def _accum(self, grad: Array) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # -------------------------------------------------------------- binary
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(_unbroadcast(out.grad, self.shape))
+            other._accum(_unbroadcast(out.grad, other.shape))
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(_unbroadcast(out.grad, self.shape))
+            other._accum(_unbroadcast(-out.grad, other.shape))
+
+        return self._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(_unbroadcast(out.grad * other.data, self.shape))
+            other._accum(_unbroadcast(out.grad * self.data, other.shape))
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(_unbroadcast(out.grad / other.data, self.shape))
+            other._accum(_unbroadcast(
+                -out.grad * self.data / (other.data * other.data), other.shape))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            self._accum(-out.grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: "Tensor") -> None:
+            g = out.grad
+            if self.requires_grad:
+                ga = g @ np.swapaxes(other.data, -1, -2)
+                self._accum(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(self.data, -1, -2) @ g
+                other._accum(_unbroadcast(gb, other.shape))
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    def __pow__(self, p: float) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * p * self.data ** (p - 1))
+
+        return self._make(self.data ** p, (self,), backward)
+
+    # --------------------------------------------------------------- unary
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * out.data)
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * 0.5 / np.maximum(out.data, 1e-12))
+
+        return self._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * (1.0 - out.data * out.data))
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.2) -> "Tensor":
+        pos = self.data > 0
+        scale = np.where(pos, 1.0, slope).astype(np.float32)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * scale)
+
+        return self._make(self.data * scale, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data).astype(np.float32)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad * sign)
+
+        return self._make(np.abs(self.data), (self,), backward)
+
+    # ---------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(out: "Tensor") -> None:
+            g = out.grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accum(np.broadcast_to(g, self.shape).copy())
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        n = self.size if axis is None else (
+            np.prod([self.shape[a] for a in np.atleast_1d(axis)]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(n))
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=True)
+        mask = (self.data == data)
+        mask = mask / mask.sum(axis=axis, keepdims=True)
+        result = data if keepdims else np.squeeze(data, axis=axis)
+
+        def backward(out: "Tensor") -> None:
+            g = out.grad if keepdims else np.expand_dims(out.grad, axis)
+            self._accum(g * mask)
+
+        return self._make(result, (self,), backward)
+
+    # --------------------------------------------------------------- shape
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad.reshape(self.shape))
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *perm: int) -> "Tensor":
+        if len(perm) == 1 and isinstance(perm[0], (tuple, list)):
+            perm = tuple(perm[0])
+        inv = np.argsort(perm)
+
+        def backward(out: "Tensor") -> None:
+            self._accum(out.grad.transpose(inv))
+
+        return self._make(self.data.transpose(perm), (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            self._accum(np.swapaxes(out.grad, a, b))
+
+        return self._make(np.swapaxes(self.data, a, b), (self,), backward)
+
+    # ------------------------------------------------------------ backward
+    def backward(self, grad: Array | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a non-grad tensor")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:  # iterative DFS: deep graphs must not hit the recursion limit
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._prev:
+                if id(p) not in visited:
+                    stack.append((p, False))
+        self.grad = (np.ones_like(self.data) if grad is None
+                     else _as_array(grad))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+        # break the tape's reference cycles (closure -> node -> closure) so
+        # large intermediates are freed by refcounting, not the cycle GC;
+        # leaf parameters keep their grads for the optimizer step
+        for node in topo:
+            if node._backward is not None:
+                node._backward = None
+                node._prev = ()
+                node.grad = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+
+def stack_params(params: Iterable[Tensor]) -> int:
+    """Total number of scalar parameters (diagnostics)."""
+    return sum(p.size for p in params)
+
+
+def take_rows(x: Tensor, idx: Array) -> Tensor:
+    """Gather rows ``x[idx]`` with autograd (backward scatter-adds)."""
+    data = x.data[idx]
+    out = Tensor(data)
+    if _GRAD_ENABLED and x.requires_grad:
+        def backward() -> None:
+            g = np.zeros_like(x.data)
+            np.add.at(g, idx, out.grad)
+            x._accum(g)
+
+        out.requires_grad = True
+        out._prev = (x,)
+        out._backward = backward
+    return out
+
+
+def segment_sum(x: Tensor, seg_ids: Array, n_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``n_segments`` buckets by ``seg_ids``."""
+    data = np.zeros((n_segments,) + x.data.shape[1:], dtype=x.data.dtype)
+    np.add.at(data, seg_ids, x.data)
+    out = Tensor(data)
+    if _GRAD_ENABLED and x.requires_grad:
+        def backward() -> None:
+            x._accum(out.grad[seg_ids])
+
+        out.requires_grad = True
+        out._prev = (x,)
+        out._backward = backward
+    return out
+
+
+def spmm(a_sparse, x: Tensor) -> Tensor:
+    """Sparse-constant @ dense-Tensor product with autograd.
+
+    ``a_sparse`` is any scipy.sparse matrix (constant, no gradient); ``x``
+    is a 2-D tensor.  Backward propagates ``Aᵀ g``.  DAG adjacencies carry
+    ~2 edges per node, so message passing through a block-diagonal sparse
+    adjacency is orders of magnitude cheaper than dense batched matmul.
+    """
+    data = np.asarray(a_sparse @ x.data, dtype=np.float32)
+    out = Tensor(data)
+    if _GRAD_ENABLED and x.requires_grad:
+        at = a_sparse.T.tocsr()
+
+        def backward() -> None:
+            x._accum(np.asarray(at @ out.grad, dtype=np.float32))
+
+        out.requires_grad = True
+        out._prev = (x,)
+        out._backward = backward
+    return out

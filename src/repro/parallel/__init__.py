@@ -1,0 +1,17 @@
+"""Parallelization substrate: sharding, intra-op and inter-op optimization."""
+
+from .inter_op import LatencyTable, StageLatencySource, slice_stages
+from .intra_op import IntraOpPlan, NodeAssignment, optimize_stage
+from .plans import ParallelPlan, StageAssignment
+from .resharding import reshard_time
+from .sharding import REPLICATED, ShardingSpec, candidate_specs, iter_axes
+from .strategies import Strategy, node_strategies
+
+__all__ = [
+    "ShardingSpec", "REPLICATED", "candidate_specs", "iter_axes",
+    "reshard_time",
+    "Strategy", "node_strategies",
+    "IntraOpPlan", "NodeAssignment", "optimize_stage",
+    "LatencyTable", "StageLatencySource", "slice_stages",
+    "ParallelPlan", "StageAssignment",
+]

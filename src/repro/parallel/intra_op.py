@@ -1,0 +1,160 @@
+"""Intra-operator parallelization optimizer (the Alpa intra-op pass).
+
+Given a stage's *training* graph and a logical mesh, assign every node an
+SPMD strategy minimizing estimated execution time: per-node kernel time
+under work division, collectives emitted by the strategies themselves
+(e.g. Megatron row-parallel all-reduces, data-parallel gradient
+all-reduces appearing as contraction-split backward matmuls), and
+resharding on edges whose endpoint shardings disagree.
+
+The optimizer is a two-pass dynamic program over the topological order:
+
+1. **forward sweep** — for every node and strategy, the cheapest way to
+   obtain each required input sharding, amortizing producer cost over its
+   consumer count (Alpa solves the exact problem as an ILP; the
+   amortization is the standard relaxation and is exact on chains);
+2. **reverse resolution** — each node commits to one sharding minimizing
+   its own table cost plus actual resharding to its already-committed
+   consumers, yielding a consistent assignment the executor can cost
+   exactly.
+
+Edges out of leaf nodes (stage inputs, parameters) never pay resharding:
+parameters are laid out at compile time and stage inputs arrive through
+the pipeline already in the sharding the first consumer wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.mesh import LogicalMesh
+from ..ir.graph import Graph, TensorSpec
+from ..runtime.opcost import op_time
+from .resharding import reshard_time
+from .sharding import REPLICATED, ShardingSpec, candidate_specs
+from .strategies import Strategy, node_strategies
+
+
+@dataclass(frozen=True)
+class NodeAssignment:
+    """Committed strategy for one node."""
+
+    strategy: Strategy
+
+    @property
+    def out_spec(self) -> ShardingSpec:
+        return self.strategy.out
+
+    @property
+    def in_specs(self) -> tuple[ShardingSpec, ...]:
+        return self.strategy.ins
+
+
+@dataclass
+class IntraOpPlan:
+    """Result of intra-op optimization for (stage graph, logical mesh)."""
+
+    graph: Graph
+    mesh: LogicalMesh
+    assignments: list[NodeAssignment]
+    #: DP estimate of the stage execution time (the executor recomputes the
+    #: authoritative value including cross-edge resharding)
+    estimated_time: float
+
+    def spec_of(self, nid: int) -> ShardingSpec:
+        return self.assignments[nid].out_spec
+
+
+def optimize_stage(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
+    """Assign an SPMD strategy to every node of ``graph`` on ``mesh``."""
+    n = len(graph)
+    gpu = mesh.gpu
+    # per node: list[(Strategy, table_cost)]
+    tables: list[list[tuple[Strategy, float]]] = [None] * n  # type: ignore
+    # quick lookup: node -> {out_spec_assignments: best (cost, idx)}
+    by_spec: list[dict[tuple, tuple[float, int]]] = [None] * n  # type: ignore
+
+    def leaf_strategies(spec: TensorSpec) -> list[Strategy]:
+        return [Strategy(f"leaf[{c}]", c, (), 1, 0.0)
+                for c in candidate_specs(spec, mesh)]
+
+    for node in graph.nodes:
+        in_specs = [graph.nodes[i].out for i in node.inputs]
+        if node.node_type in ("input", "literal"):
+            strats = leaf_strategies(node.out)
+        elif node.node_type == "output":
+            # outputs adopt their operand's sharding at no cost
+            seen: set[tuple] = set()
+            strats = []
+            for s, _ in tables[node.inputs[0]]:
+                if s.out.assignments not in seen:
+                    seen.add(s.out.assignments)
+                    strats.append(Strategy(f"out[{s.out}]", s.out, (s.out,), 1, 0.0))
+        else:
+            strats = node_strategies(node, in_specs, mesh)
+
+        entries: list[tuple[Strategy, float]] = []
+        for strat in strats:
+            if node.node_type == "operator":
+                cost = op_time(node, in_specs, gpu, float(strat.factor))
+                cost += strat.comm_time
+            else:
+                cost = 0.0
+            feasible = True
+            for slot, req in enumerate(strat.ins):
+                pid = node.inputs[slot]
+                ptable = by_spec[pid]
+                pnode = graph.nodes[pid]
+                leaf_edge = pnode.node_type in ("input", "literal")
+                share = 1.0 / max(1, len(graph.consumers(pid)))
+                best = None
+                for passign, (pcost, _) in ptable.items():
+                    rs = 0.0 if leaf_edge else reshard_time(
+                        ShardingSpec(passign), req, pnode.out, mesh)
+                    c = share * pcost + rs
+                    if best is None or c < best:
+                        best = c
+                if best is None:
+                    feasible = False
+                    break
+                cost += best
+            if feasible:
+                entries.append((strat, cost))
+        if not entries:  # always possible: fully replicated execution
+            rep = Strategy("fallback[R]", REPLICATED,
+                           tuple(REPLICATED for _ in node.inputs), 1, 0.0)
+            cost = (op_time(node, in_specs, gpu, 1.0)
+                    if node.node_type == "operator" else 0.0)
+            entries = [(rep, cost)]
+        tables[node.id] = entries
+        spec_map: dict[tuple, tuple[float, int]] = {}
+        for idx, (strat, cost) in enumerate(entries):
+            key = strat.out.assignments
+            if key not in spec_map or cost < spec_map[key][0]:
+                spec_map[key] = (cost, idx)
+        by_spec[node.id] = spec_map
+
+    # ---- reverse resolution ------------------------------------------------
+    assignments: list[NodeAssignment | None] = [None] * n
+    estimated = 0.0
+    for node in reversed(graph.nodes):
+        required: list[ShardingSpec] = []
+        for cid in graph.consumers(node.id):
+            cons = assignments[cid]
+            slot = graph.nodes[cid].inputs.index(node.id)
+            if slot < len(cons.in_specs):
+                required.append(cons.in_specs[slot])
+        best_idx, best_cost = 0, float("inf")
+        leaf = node.node_type in ("input", "literal")
+        for idx, (strat, cost) in enumerate(tables[node.id]):
+            total = cost
+            if not leaf:
+                for req in required:
+                    total += reshard_time(strat.out, req, node.out, mesh)
+            if total < best_cost:
+                best_cost, best_idx = total, idx
+        assignments[node.id] = NodeAssignment(tables[node.id][best_idx][0])
+        if not graph.consumers(node.id):  # sink: accumulate DP estimate
+            estimated += best_cost
+
+    return IntraOpPlan(graph, mesh, assignments, estimated)  # type: ignore[arg-type]

@@ -1,0 +1,59 @@
+"""Plan containers shared by the inter-op DP and the search harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.mesh import DeviceMesh
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """One pipeline stage of a parallelization plan."""
+
+    unit_range: tuple[int, int]     # clustering units [start, end)
+    layer_range: tuple[int, int]    # model layers [start, end)
+    submesh_index: int
+    submesh: DeviceMesh
+    latency: float                  # per-microbatch stage latency, seconds
+
+    @property
+    def n_devices(self) -> int:
+        return self.submesh.num_devices
+
+
+@dataclass
+class ParallelPlan:
+    """A full pipeline plan with its estimated iteration latency."""
+
+    stages: list[StageAssignment]
+    iteration_latency: float        # Eqn-4 estimate used by the optimizer
+    n_microbatches: int
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def feasible(self) -> bool:
+        return self.stages and self.iteration_latency != float("inf")
+
+    def stage_latencies(self) -> list[float]:
+        return [s.latency for s in self.stages]
+
+    def total_devices(self) -> int:
+        return sum(s.n_devices for s in self.stages)
+
+    def describe(self) -> str:
+        """Human-readable plan summary."""
+        if not self.stages:
+            return "<infeasible plan>"
+        rows = [
+            f"  stage {i}: units {s.unit_range} layers {s.layer_range} "
+            f"on {s.submesh} t={s.latency * 1e3:.1f} ms"
+            for i, s in enumerate(self.stages)
+        ]
+        head = (f"ParallelPlan: {self.n_stages} stages, B={self.n_microbatches}, "
+                f"T={self.iteration_latency * 1e3:.1f} ms")
+        return "\n".join([head] + rows)

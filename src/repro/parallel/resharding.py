@@ -1,0 +1,47 @@
+"""Resharding (layout-conversion) cost between sharding specs.
+
+When a consumer requires a different sharding than its producer emitted,
+the SPMD runtime inserts collective ops on that edge.  The cost model:
+
+* identical (normalized) specs — free;
+* replicated producer — free (consumers slice locally);
+* producer axes that the consumer keeps — free for those axes;
+* producer axes the consumer drops — an all-gather per axis;
+* axes that move to a different dimension — modeled as an all-gather of
+  the source axis too (an all-to-all would be slightly cheaper; the
+  difference does not change any plan ordering at these sizes).
+"""
+
+from __future__ import annotations
+
+from ..cluster.collectives import allgather_time
+from ..cluster.mesh import LogicalMesh
+from ..ir.graph import TensorSpec
+from .sharding import ShardingSpec
+
+
+def reshard_time(
+    src: ShardingSpec,
+    dst: ShardingSpec,
+    tensor: TensorSpec,
+    mesh: LogicalMesh,
+) -> float:
+    """Seconds to convert ``tensor`` from ``src`` to ``dst`` sharding."""
+    src = src.normalized(mesh)
+    dst = dst.normalized(mesh)
+    if src.assignments == dst.assignments or src.is_replicated:
+        return 0.0
+    dst_map = dict(dst.assignments)
+    total = 0.0
+    kept_factor = 1
+    gather_axes = []
+    for d, a in src.assignments:
+        if dst_map.get(d) == a:
+            kept_factor *= mesh.axis_size(a)
+        else:
+            gather_axes.append(a)
+    nbytes = tensor.nbytes / kept_factor
+    for a in gather_axes:
+        p = mesh.axis_size(a)
+        total += allgather_time(mesh.axis_link(a), nbytes, p)
+    return total

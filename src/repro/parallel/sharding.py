@@ -1,0 +1,142 @@
+"""SPMD sharding specs over a 2-D logical mesh.
+
+A :class:`ShardingSpec` maps tensor dimensions to logical mesh axes
+(``"dp"`` / ``"mp"``); unmapped dimensions are replicated.  The vocabulary
+is deliberately small — replicate, shard dim 0, shard the last dim, or
+shard both on different axes — which covers every strategy the Megatron /
+Alpa intra-op space uses for transformer workloads while keeping the
+per-node optimization tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..cluster.mesh import LogicalMesh
+from ..ir.graph import TensorSpec
+
+AXES = ("dp", "mp")
+
+
+@dataclass(frozen=True)
+class ShardingSpec:
+    """Mapping ``tensor dim -> mesh axis``; empty mapping = replicated."""
+
+    assignments: tuple[tuple[int, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        dims = [d for d, _ in self.assignments]
+        axes = [a for _, a in self.assignments]
+        if len(set(dims)) != len(dims):
+            raise ValueError(f"dimension mapped twice: {self.assignments}")
+        if len(set(axes)) != len(axes):
+            raise ValueError(f"mesh axis used twice: {self.assignments}")
+        for _, a in self.assignments:
+            if a not in AXES:
+                raise ValueError(f"unknown mesh axis {a!r}")
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def replicated() -> "ShardingSpec":
+        return ShardingSpec(())
+
+    @staticmethod
+    def shard(dim: int, axis: str) -> "ShardingSpec":
+        return ShardingSpec(((dim, axis),))
+
+    @staticmethod
+    def shard2(dim0: int, axis0: str, dim1: int, axis1: str) -> "ShardingSpec":
+        return ShardingSpec(((dim0, axis0), (dim1, axis1)))
+
+    # --------------------------------------------------------------- queries
+    @property
+    def is_replicated(self) -> bool:
+        return not self.assignments
+
+    def axis_of(self, dim: int) -> str | None:
+        for d, a in self.assignments:
+            if d == dim:
+                return a
+        return None
+
+    def dim_of(self, axis: str) -> int | None:
+        for d, a in self.assignments:
+            if a == axis:
+                return d
+        return None
+
+    def axes_used(self) -> tuple[str, ...]:
+        return tuple(a for _, a in self.assignments)
+
+    def shard_factor(self, mesh: LogicalMesh) -> int:
+        """Number of shards the tensor is split into on ``mesh``."""
+        f = 1
+        for _, a in self.assignments:
+            f *= mesh.axis_size(a)
+        return f
+
+    def valid_for(self, spec: TensorSpec, mesh: LogicalMesh) -> bool:
+        """True when every mapped dim exists and divides by its axis size."""
+        for d, a in self.assignments:
+            if d >= spec.rank:
+                return False
+            size = mesh.axis_size(a)
+            if size > 1 and spec.shape[d] % size != 0:
+                return False
+        return True
+
+    def normalized(self, mesh: LogicalMesh) -> "ShardingSpec":
+        """Drop assignments to size-1 axes (they shard nothing)."""
+        kept = tuple((d, a) for d, a in self.assignments if mesh.axis_size(a) > 1)
+        return ShardingSpec(kept)
+
+    def local_bytes(self, spec: TensorSpec, mesh: LogicalMesh) -> float:
+        """Per-device bytes of a tensor stored under this sharding."""
+        return spec.nbytes / self.shard_factor(mesh)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if not self.assignments:
+            return "R"
+        return "+".join(f"S{d}@{a}" for d, a in self.assignments)
+
+
+REPLICATED = ShardingSpec.replicated()
+
+
+def candidate_specs(spec: TensorSpec, mesh: LogicalMesh) -> list[ShardingSpec]:
+    """The sharding vocabulary applicable to one tensor on one mesh.
+
+    Candidates: replicated; dim 0 or the last dim on either axis; and both
+    dims on the two different axes.  Invalid (non-dividing) candidates are
+    filtered; duplicates collapse when the tensor is rank-1.
+    """
+    cands: list[ShardingSpec] = [REPLICATED]
+    if spec.rank >= 1:
+        last = spec.rank - 1
+        for a in AXES:
+            if mesh.axis_size(a) > 1:
+                cands.append(ShardingSpec.shard(0, a))
+                if last != 0:
+                    cands.append(ShardingSpec.shard(last, a))
+        if spec.rank >= 2 and mesh.dp > 1 and mesh.mp > 1:
+            cands.append(ShardingSpec.shard2(0, "dp", last, "mp"))
+            cands.append(ShardingSpec.shard2(0, "mp", last, "dp"))
+    seen: set[tuple] = set()
+    out = []
+    for c in cands:
+        c = c.normalized(mesh)
+        if c.assignments in seen:
+            continue
+        if not c.valid_for(spec, mesh):
+            continue
+        seen.add(c.assignments)
+        out.append(c)
+    return out
+
+
+def iter_axes(mesh: LogicalMesh) -> Iterator[str]:
+    """Mesh axes with more than one device."""
+    for a in AXES:
+        if mesh.axis_size(a) > 1:
+            yield a

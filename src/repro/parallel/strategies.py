@@ -1,0 +1,363 @@
+"""Per-operator SPMD strategy enumeration.
+
+For each node the intra-op optimizer considers a handful of strategies —
+an output sharding, the input shardings it requires, the work-division
+factor, and any collective the strategy itself emits (e.g. the all-reduce
+that finishes a contraction-split matmul).  The enumeration reproduces the
+useful region of Alpa's ILP space for transformer training graphs:
+data-parallel batch sharding, Megatron-style column/row weight sharding,
+expert parallelism (batched dims), and gradient all-reduce emerging from
+contraction-split backward matmuls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cluster.collectives import allreduce_time
+from ..cluster.mesh import LogicalMesh
+from ..ir.graph import Node, TensorSpec
+from ..ir.ops import op_def
+from .sharding import REPLICATED, ShardingSpec, iter_axes
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One way to execute a node on a logical mesh."""
+
+    name: str
+    out: ShardingSpec
+    ins: tuple[ShardingSpec, ...]
+    #: work division (flops and bytes divided by this)
+    factor: int
+    #: seconds of collectives the strategy itself performs
+    comm_time: float
+
+
+def _axis_ok(dim: int, axis: str) -> bool:
+    """Axis semantics of the Table-III configurations.
+
+    The ``dp`` axis carries *data parallelism*: it may only shard dimension
+    0 (the batch dim of activations).  The ``mp`` axis carries *model /
+    tensor parallelism*: it shards non-batch dims (features, heads,
+    experts) and weight matrices.  This is what distinguishes a (2, 1)
+    from a (1, 2) logical view of the same two devices.
+    """
+    return dim == 0 if axis == "dp" else dim != 0
+
+
+def _align_broadcast(out_spec: ShardingSpec, out: TensorSpec,
+                     operand: TensorSpec) -> ShardingSpec:
+    """Propagate an output sharding to an elementwise operand.
+
+    Dims are aligned from the right (numpy broadcasting); operand dims that
+    are broadcast (absent or size 1) stay replicated on that axis.
+    """
+    offset = out.rank - operand.rank
+    assignments = []
+    for d, a in out_spec.assignments:
+        di = d - offset
+        if di >= 0 and operand.shape[di] == out.shape[d]:
+            assignments.append((di, a))
+    return ShardingSpec(tuple(assignments))
+
+
+def _out_candidates(out: TensorSpec, mesh: LogicalMesh) -> list[ShardingSpec]:
+    """Replicated plus axis-semantic shardings over dims {0, 1, last}."""
+    cands = [REPLICATED]
+    dims = {0, out.rank - 1}
+    if out.rank >= 3:
+        dims.add(1)
+    for d in sorted(x for x in dims if x >= 0):
+        for a in iter_axes(mesh):
+            if not _axis_ok(d, a):
+                continue
+            s = ShardingSpec.shard(d, a)
+            if s.valid_for(out, mesh):
+                cands.append(s)
+    if out.rank >= 2 and mesh.dp > 1 and mesh.mp > 1:
+        s = ShardingSpec.shard2(0, "dp", out.rank - 1, "mp")
+        if s.valid_for(out, mesh):
+            cands.append(s)
+    return cands
+
+
+def _elementwise(node: Node, ins: Sequence[TensorSpec],
+                 mesh: LogicalMesh) -> list[Strategy]:
+    out = node.out
+    strats = []
+    for c in _out_candidates(out, mesh):
+        in_specs = tuple(_align_broadcast(c, out, s) for s in ins)
+        strats.append(Strategy(f"elt[{c}]", c, in_specs, c.shard_factor(mesh), 0.0))
+    return strats
+
+
+def _reduction(node: Node, ins: Sequence[TensorSpec],
+               mesh: LogicalMesh) -> list[Strategy]:
+    src = ins[0]
+    axes = tuple(node.params.get("axes", ()))
+    keepdims = bool(node.params.get("keepdims", False))
+    # map each output dim to its source dim
+    if keepdims or not axes:
+        out_to_in = {d: d for d in range(node.out.rank)}
+    else:
+        surviving = [d for d in range(src.rank) if d not in axes]
+        out_to_in = {i: d for i, d in enumerate(surviving)}
+    strats = []
+    for c in _out_candidates(node.out, mesh):
+        ok = True
+        in_assign = []
+        for d, a in c.assignments:
+            di = out_to_in.get(d)
+            if di is None:
+                ok = False
+                break
+            in_assign.append((di, a))
+        if not ok:
+            continue
+        in_spec = ShardingSpec(tuple(in_assign))
+        if not in_spec.valid_for(src, mesh):
+            continue
+        rest = tuple(REPLICATED for _ in ins[1:])
+        strats.append(Strategy(f"red[{c}]", c, (in_spec,) + rest,
+                               c.shard_factor(mesh), 0.0))
+    return strats
+
+
+def _transpose(node: Node, ins: Sequence[TensorSpec],
+               mesh: LogicalMesh) -> list[Strategy]:
+    perm = tuple(node.params.get("perm", range(node.out.rank)))
+    strats = []
+    for c in _out_candidates(node.out, mesh):
+        in_spec = ShardingSpec(tuple((perm[d], a) for d, a in c.assignments))
+        if in_spec.valid_for(ins[0], mesh):
+            strats.append(Strategy(f"tr[{c}]", c, (in_spec,),
+                                   c.shard_factor(mesh), 0.0))
+    return strats
+
+
+def _reshape_map(src: TensorSpec, dst: TensorSpec) -> dict[int, int]:
+    """Best-effort dst dim -> src dim correspondence for common reshapes."""
+    mapping: dict[int, int] = {}
+    # shared prefix
+    p = 0
+    while (p < min(src.rank, dst.rank)
+           and src.shape[p] == dst.shape[p]):
+        mapping[p] = p
+        p += 1
+    # split last:  (..., H) -> (..., nh, dh)
+    if (dst.rank == src.rank + 1 and p == src.rank - 1
+            and src.shape[-1] == dst.shape[-2] * dst.shape[-1]):
+        mapping[dst.rank - 2] = src.rank - 1
+    # merge last:  (..., nh, dh) -> (..., H)
+    elif (src.rank == dst.rank + 1 and p == dst.rank - 1
+          and dst.shape[-1] == src.shape[-2] * src.shape[-1]):
+        mapping[dst.rank - 1] = src.rank - 2
+    # flatten leading dims keeping the last:  (B, S, H) -> (B*S, H)
+    elif src.shape and dst.shape and src.shape[-1] == dst.shape[-1]:
+        mapping[dst.rank - 1] = src.rank - 1
+        if dst.rank >= 2 and src.rank >= 2:
+            mapping.setdefault(0, 0)
+    return mapping
+
+
+def _reshape(node: Node, ins: Sequence[TensorSpec],
+             mesh: LogicalMesh) -> list[Strategy]:
+    dmap = _reshape_map(ins[0], node.out)
+    strats = []
+    for c in _out_candidates(node.out, mesh):
+        in_assign = []
+        ok = True
+        for d, a in c.assignments:
+            di = dmap.get(d)
+            if di is None:
+                ok = False
+                break
+            in_assign.append((di, a))
+        if not ok:
+            continue
+        in_spec = ShardingSpec(tuple(in_assign))
+        if not in_spec.valid_for(ins[0], mesh):
+            continue
+        strats.append(Strategy(f"rs[{c}]", c, (in_spec,),
+                               c.shard_factor(mesh), 0.0))
+    return strats
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One axis-consuming partitioning choice for a dot_general."""
+
+    label: str
+    axis: str                       # "dp" or "mp" (semantics, see _axis_ok)
+    out_dim: int | None             # output dim sharded, None if partial-sum
+    lhs_dim: int | None
+    rhs_dim: int | None
+    allreduce: bool                 # strategy must all-reduce its output
+
+
+def _dot_moves(lhs: TensorSpec, rhs: TensorSpec, out: TensorSpec) -> list[_Move]:
+    moves: list[_Move] = []
+    # batch-parallel over leading dims shared by lhs/out; the rhs joins the
+    # batching only when it is itself batched (rank >= 3 matching the output,
+    # e.g. attention score/context einsums, expert-parallel FFNs) — a rank-2
+    # rhs is a weight and stays replicated
+    rhs_batched = rhs.rank == out.rank and rhs.rank >= 3
+    for d in range(min(2, out.rank - 1 if out.rank else 0)):
+        if d >= lhs.rank - 1 or lhs.shape[d] != out.shape[d]:
+            continue
+        if rhs_batched and (d >= rhs.rank - 1 or rhs.shape[d] != out.shape[d]):
+            continue
+        rhs_dim = d if rhs_batched else None
+        axis = "dp" if d == 0 else "mp"
+        moves.append(_Move(f"batch{d}", axis, d, d, rhs_dim, False))
+    # Megatron column-parallel: weight's output features sharded
+    if rhs.rank == 2 and out.rank >= 1 and rhs.shape[1] == out.shape[-1]:
+        moves.append(_Move("col", "mp", out.rank - 1, None, 1, False))
+    # Megatron row-parallel: contraction dim sharded, partial sums all-reduced
+    if rhs.rank == 2 and lhs.rank >= 1 and lhs.shape[-1] == rhs.shape[0]:
+        moves.append(_Move("row", "mp", None, lhs.rank - 1, 0, True))
+    # contraction over batch dims (weight-gradient matmuls: dW = x^T g);
+    # sharding the batch yields partial sums -> the DP gradient all-reduce
+    if (lhs.rank == rhs.rank and lhs.rank > out.rank and lhs.rank >= 2
+            and lhs.shape[0] == rhs.shape[0]):
+        moves.append(_Move("gradsync", "dp", None, 0, 0, True))
+    return moves
+
+
+def _dot_general(node: Node, ins: Sequence[TensorSpec],
+                 mesh: LogicalMesh) -> list[Strategy]:
+    lhs, rhs = ins[0], ins[1]
+    out = node.out
+    strats = [Strategy("dot[R]", REPLICATED, (REPLICATED, REPLICATED), 1, 0.0)]
+    moves = [m for m in _dot_moves(lhs, rhs, out)
+             if mesh.axis_size(m.axis) > 1]
+
+    def mk(selected: list[_Move]) -> Strategy | None:
+        out_assign, lhs_assign, rhs_assign = [], [], []
+        factor = 1
+        out_shard_factor = 1
+        names = []
+        for mv in selected:
+            p = mesh.axis_size(mv.axis)
+            factor *= p
+            names.append(f"{mv.label}@{mv.axis}")
+            if mv.out_dim is not None:
+                out_assign.append((mv.out_dim, mv.axis))
+                out_shard_factor *= p
+            if mv.lhs_dim is not None:
+                lhs_assign.append((mv.lhs_dim, mv.axis))
+            if mv.rhs_dim is not None:
+                rhs_assign.append((mv.rhs_dim, mv.axis))
+        try:
+            out_spec = ShardingSpec(tuple(out_assign))
+            lhs_spec = ShardingSpec(tuple(lhs_assign))
+            rhs_spec = ShardingSpec(tuple(rhs_assign))
+        except ValueError:  # a dim or axis mapped twice: incompatible combo
+            return None
+        if not (out_spec.valid_for(out, mesh) and lhs_spec.valid_for(lhs, mesh)
+                and rhs_spec.valid_for(rhs, mesh)):
+            return None
+        comm = 0.0
+        for mv in selected:
+            if mv.allreduce:
+                p = mesh.axis_size(mv.axis)
+                comm += allreduce_time(mesh.axis_link(mv.axis),
+                                       out.nbytes / out_shard_factor, p)
+        return Strategy("dot[" + "+".join(names) + "]", out_spec,
+                        (lhs_spec, rhs_spec), factor, comm)
+
+    for mv in moves:
+        s = mk([mv])
+        if s:
+            strats.append(s)
+    for i, m1 in enumerate(moves):
+        for m2 in moves[i + 1:]:
+            if m1.axis == m2.axis:
+                continue
+            s = mk([m1, m2])
+            if s:
+                strats.append(s)
+    return strats
+
+
+def _gather(node: Node, ins: Sequence[TensorSpec],
+            mesh: LogicalMesh) -> list[Strategy]:
+    table, idx = ins[0], ins[1] if len(ins) > 1 else ins[0]
+    out = node.out
+    strats = [Strategy("gather[R]", REPLICATED,
+                       tuple(REPLICATED for _ in ins), 1, 0.0)]
+    for a in iter_axes(mesh):
+        # shard the embedding dim of the table (model parallelism)
+        if (a == "mp" and table.rank == 2 and out.rank >= 1
+                and table.shape[1] == out.shape[-1]):
+            s = ShardingSpec.shard(out.rank - 1, a)
+            t = ShardingSpec.shard(1, a)
+            if s.valid_for(out, mesh) and t.valid_for(table, mesh):
+                strats.append(Strategy(f"gather[col@{a}]", s,
+                                       (t,) + tuple(REPLICATED for _ in ins[1:]),
+                                       mesh.axis_size(a), 0.0))
+        # shard the index batch dim (data parallelism)
+        if (a == "dp" and len(ins) > 1 and idx.rank >= 1
+                and out.shape[0] == idx.shape[0]):
+            s = ShardingSpec.shard(0, a)
+            i = ShardingSpec.shard(0, a)
+            if s.valid_for(out, mesh) and i.valid_for(idx, mesh):
+                strats.append(Strategy(f"gather[batch@{a}]", s,
+                                       (REPLICATED, i) + tuple(REPLICATED for _ in ins[2:]),
+                                       mesh.axis_size(a), 0.0))
+    return strats
+
+
+def _default(node: Node, ins: Sequence[TensorSpec],
+             mesh: LogicalMesh) -> list[Strategy]:
+    """Replicated execution plus batch-dim sharding when shapes allow."""
+    strats = [Strategy("def[R]", REPLICATED,
+                       tuple(REPLICATED for _ in ins), 1, 0.0)]
+    out = node.out
+    if out.rank >= 1:
+        for a in iter_axes(mesh):
+            if not _axis_ok(0, a):
+                continue
+            c = ShardingSpec.shard(0, a)
+            if not c.valid_for(out, mesh):
+                continue
+            in_specs = []
+            ok = True
+            for s in ins:
+                if s.rank >= 1 and s.shape[0] == out.shape[0]:
+                    sp = ShardingSpec.shard(0, a)
+                    if not sp.valid_for(s, mesh):
+                        ok = False
+                        break
+                    in_specs.append(sp)
+                else:
+                    in_specs.append(REPLICATED)
+            if ok:
+                strats.append(Strategy(f"def[batch@{a}]", c, tuple(in_specs),
+                                       mesh.axis_size(a), 0.0))
+    return strats
+
+
+def node_strategies(node: Node, input_specs: Sequence[TensorSpec],
+                    mesh: LogicalMesh) -> list[Strategy]:
+    """Enumerate the strategies available to ``node`` on ``mesh``."""
+    if node.node_type != "operator":
+        return [Strategy("leaf", REPLICATED, (), 1, 0.0)]
+    category = op_def(node.op).category
+    if node.op == "dot_general":
+        return _dot_general(node, input_specs, mesh)
+    if node.op == "transpose":
+        return _transpose(node, input_specs, mesh)
+    if node.op in ("reshape", "broadcast_in_dim", "convert_element_type"):
+        if node.op == "reshape" and input_specs:
+            return _reshape(node, input_specs, mesh)
+        return _default(node, input_specs, mesh)
+    if node.op == "gather":
+        return _gather(node, input_specs, mesh)
+    if category == "elementwise":
+        return _elementwise(node, input_specs, mesh)
+    if category == "reduction":
+        return _reduction(node, input_specs, mesh)
+    return _default(node, input_specs, mesh)

@@ -1,0 +1,207 @@
+"""Stage-latency dataset: graphs + profiled targets, encoded for training.
+
+Each sample is one profiled stage: Table-I node features, the DAGRA
+reachability mask, DAGPE depths, the GCN-normalized adjacency, and the
+measured latency.  Encodings are computed once per graph and cached on
+the sample.
+
+Targets are standardized by default (see :class:`Normalizer`); the raw
+seconds are always kept on the batch so MRE (Eqn 5) is computed on the
+original scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..ir.features import graph_features
+from ..ir.graph import Graph
+from ..ir.reachability import node_depths, reachability_mask, undirected_adjacency
+
+
+@dataclass
+class StageSample:
+    """One (stage graph, latency) training example."""
+
+    graph: Graph
+    latency: float
+    stage_id: str = ""
+    features: np.ndarray = field(default=None, repr=False)  # type: ignore
+    reach: np.ndarray = field(default=None, repr=False)  # type: ignore
+    depths: np.ndarray = field(default=None, repr=False)  # type: ignore
+    adj: np.ndarray = field(default=None, repr=False)  # type: ignore
+
+    def encode(self) -> "StageSample":
+        if self.features is None:
+            self.features = graph_features(self.graph).astype(np.float32)
+            self.reach = reachability_mask(self.graph)
+            self.depths = node_depths(self.graph)
+            self.adj = undirected_adjacency(self.graph).astype(np.float32)
+        return self
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.graph)
+
+
+@dataclass
+class Normalizer:
+    """Feature standardization + target transform fit on the training split.
+
+    Target transforms:
+
+    * ``"scaled"`` (default) — latency divided by the training-set mean.
+      Global add pooling makes the network's output naturally *additive*
+      over nodes, which matches latency on a linear scale; scaling keeps
+      targets O(1) for optimization.
+    * ``"standard"`` — latency standardized by the training-set mean/std.
+    * ``"log"`` — log-latency regression (relative-error flavored, but it
+      breaks the additive pooling structure).
+    * ``"raw"`` — plain seconds.
+    """
+
+    feat_mean: np.ndarray
+    feat_std: np.ndarray
+    target_transform: str = "scaled"
+    target_scale: float = 1.0
+    target_shift: float = 0.0
+
+    @staticmethod
+    def fit(samples: list[StageSample],
+            target_transform: str = "scaled") -> "Normalizer":
+        if not samples:
+            raise ValueError("cannot fit a normalizer on an empty split")
+        stacked = np.concatenate([s.encode().features for s in samples], axis=0)
+        mean = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        std[std < 1e-6] = 1.0
+        scale, shift = 1.0, 0.0
+        lats = np.array([s.latency for s in samples], np.float64)
+        if target_transform == "scaled":
+            scale = float(lats.mean()) or 1.0
+        elif target_transform == "standard":
+            shift = float(lats.mean())
+            scale = float(lats.std()) or float(lats.mean()) or 1.0
+        return Normalizer(mean.astype(np.float32), std.astype(np.float32),
+                          target_transform, scale, shift)
+
+    def features(self, sample: StageSample) -> np.ndarray:
+        return (sample.encode().features - self.feat_mean) / self.feat_std
+
+    def target(self, latency: float | np.ndarray) -> np.ndarray:
+        y = np.asarray(latency, dtype=np.float32)
+        if self.target_transform == "log":
+            return np.log(np.maximum(y, 1e-9))
+        if self.target_transform == "scaled":
+            return y / self.target_scale
+        if self.target_transform == "standard":
+            return (y - self.target_shift) / self.target_scale
+        return y
+
+    def inverse(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=np.float32)
+        if self.target_transform == "log":
+            return np.exp(y)
+        if self.target_transform == "scaled":
+            return y * self.target_scale
+        if self.target_transform == "standard":
+            return y * self.target_scale + self.target_shift
+        return y
+
+
+@dataclass
+class DatasetSplit:
+    train: list[StageSample]
+    val: list[StageSample]
+    test: list[StageSample]
+
+
+def split_dataset(
+    samples: list[StageSample],
+    train_fraction: float,
+    val_fraction: float = 0.1,
+    seed: int = 0,
+) -> DatasetSplit:
+    """§VIII-A protocol: ``train_fraction`` train, 10 % val, rest test."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train + val fractions must leave a test split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(samples))
+    n_train = max(1, int(round(train_fraction * len(samples))))
+    n_val = max(1, int(round(val_fraction * len(samples))))
+    train = [samples[i] for i in order[:n_train]]
+    val = [samples[i] for i in order[n_train:n_train + n_val]]
+    test = [samples[i] for i in order[n_train + n_val:]]
+    if not test:
+        raise ValueError("no test samples left after splitting")
+    return DatasetSplit(train, val, test)
+
+
+@dataclass
+class Batch:
+    """Dense padded batch of graphs."""
+
+    features: np.ndarray    # (B, N, F) normalized
+    node_mask: np.ndarray   # (B, N) float32
+    reach: np.ndarray       # (B, N, N) bool
+    adj: np.ndarray         # (B, N, N) float32, GCN-normalized
+    depths: np.ndarray      # (B, N) int64
+    targets: np.ndarray     # (B,) transformed
+    latencies: np.ndarray   # (B,) raw seconds
+    #: block-diagonal CSR of the per-graph adjacencies, for sparse message
+    #: passing on the flattened (B·N, F) layout
+    adj_sparse: sp.csr_matrix = None
+
+    @property
+    def size(self) -> int:
+        return self.features.shape[0]
+
+
+def make_batches(
+    samples: list[StageSample],
+    normalizer: Normalizer,
+    batch_size: int,
+    bucket: bool = True,
+) -> list[Batch]:
+    """Pad samples into dense batches, bucketing by node count.
+
+    Bucketing sorts by graph size before chunking, which keeps padding
+    waste (and the O(N²) attention cost on it) low without changing the
+    set of samples seen per epoch.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = sorted(samples, key=lambda s: s.encode().n_nodes) if bucket else samples
+    batches: list[Batch] = []
+    for i in range(0, len(order), batch_size):
+        chunk = [s.encode() for s in order[i:i + batch_size]]
+        n = max(s.n_nodes for s in chunk)
+        B = len(chunk)
+        F = chunk[0].features.shape[1]
+        feats = np.zeros((B, n, F), np.float32)
+        mask = np.zeros((B, n), np.float32)
+        reach = np.zeros((B, n, n), bool)
+        adj = np.zeros((B, n, n), np.float32)
+        depths = np.zeros((B, n), np.int64)
+        lats = np.zeros(B, np.float32)
+        for j, s in enumerate(chunk):
+            k = s.n_nodes
+            feats[j, :k] = normalizer.features(s)
+            mask[j, :k] = 1.0
+            reach[j, :k, :k] = s.reach
+            adj[j, :k, :k] = s.adj
+            depths[j, :k] = s.depths
+            lats[j] = s.latency
+        # padding rows must attend somewhere to avoid NaNs: self-loops
+        idx = np.arange(n)
+        reach[:, idx, idx] = True
+        adj_sparse = sp.block_diag(
+            [sp.csr_matrix(adj[j]) for j in range(B)], format="csr")
+        batches.append(Batch(feats, mask, reach, adj, depths,
+                             normalizer.target(lats), lats, adj_sparse))
+    return batches

@@ -1,0 +1,25 @@
+"""Prediction-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mre(pred: np.ndarray, true: np.ndarray) -> float:
+    """Mean relative error in percent (Eqn 5)."""
+    pred = np.asarray(pred, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {true.shape}")
+    if np.any(true <= 0):
+        raise ValueError("true latencies must be positive")
+    return float(np.mean(np.abs((pred - true) / true)) * 100.0)
+
+
+def mean_absolute_error(pred: np.ndarray, true: np.ndarray) -> float:
+    return float(np.mean(np.abs(np.asarray(pred) - np.asarray(true))))
+
+
+def rmse(pred: np.ndarray, true: np.ndarray) -> float:
+    d = np.asarray(pred, dtype=np.float64) - np.asarray(true, dtype=np.float64)
+    return float(np.sqrt(np.mean(d * d)))

@@ -1,0 +1,75 @@
+"""Persistence for trained predictors.
+
+A fitted :class:`~repro.predictors.base.LatencyPredictor` is a (model
+weights, normalizer, hyperparameter) triple; this module round-trips it
+through a single ``.npz`` file so per-mesh predictors trained in the
+PredTOP profiling/training phases can be reused across processes — the
+moral equivalent of Alpa's on-disk profiling database, but for models.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .base import LatencyPredictor, build_model
+from .dataset import Normalizer
+
+_META_KEY = "__predtop_meta__"
+FORMAT_VERSION = 1
+
+
+def save_predictor(predictor: LatencyPredictor, path: str | os.PathLike) -> Path:
+    """Serialize a fitted predictor to ``path`` (.npz)."""
+    if predictor.model is None or predictor.normalizer is None:
+        raise ValueError("cannot save an unfitted predictor")
+    norm = predictor.normalizer
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": predictor.kind,
+        "seed": predictor.seed,
+        "target_transform": norm.target_transform,
+        "target_scale": norm.target_scale,
+        "target_shift": norm.target_shift,
+        "model_overrides": predictor.model_overrides,
+    }
+    arrays = {f"param/{k}": v for k, v in predictor.model.state_dict().items()}
+    arrays["norm/feat_mean"] = norm.feat_mean
+    arrays["norm/feat_std"] = norm.feat_std
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_predictor(path: str | os.PathLike) -> LatencyPredictor:
+    """Load a predictor previously written by :func:`save_predictor`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if _META_KEY not in data:
+            raise ValueError(f"{path} is not a saved PredTOP predictor")
+        meta = json.loads(bytes(data[_META_KEY].tobytes()).decode())
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported predictor format {meta.get('version')}")
+        state = {k.removeprefix("param/"): data[k]
+                 for k in data.files if k.startswith("param/")}
+        norm = Normalizer(
+            feat_mean=data["norm/feat_mean"],
+            feat_std=data["norm/feat_std"],
+            target_transform=meta["target_transform"],
+            target_scale=float(meta["target_scale"]),
+            target_shift=float(meta["target_shift"]),
+        )
+    predictor = LatencyPredictor(meta["kind"], seed=int(meta["seed"]),
+                                 target_transform=meta["target_transform"],
+                                 model_overrides=meta["model_overrides"] or {})
+    predictor.model = build_model(predictor.kind, seed=predictor.seed,
+                                  **predictor.model_overrides)
+    predictor.model.load_state_dict(state)
+    predictor.normalizer = norm
+    return predictor

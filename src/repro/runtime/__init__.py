@@ -1,0 +1,21 @@
+"""Runtime simulation: op costs, stage execution, pipeline schedules."""
+
+from .executor import StageProfile, execute_plan
+from .noise import NOISE_SIGMA, measurement_factor, stable_seed
+from .opcost import graph_bytes, graph_flops, op_time
+from .pipeline import (
+    PipelineSchedule,
+    PipelineSimulator,
+    simulated_latency,
+    whitebox_latency,
+)
+from .profiler import ProfiledStage, StageProfiler, profiling_cost
+
+__all__ = [
+    "op_time", "graph_flops", "graph_bytes",
+    "StageProfile", "execute_plan",
+    "measurement_factor", "stable_seed", "NOISE_SIGMA",
+    "whitebox_latency", "simulated_latency", "PipelineSimulator",
+    "PipelineSchedule",
+    "StageProfiler", "ProfiledStage", "profiling_cost",
+]

@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny models, meshes, and profiled corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import PLATFORM1, PLATFORM2
+from repro.ir import GraphBuilder
+from repro.models import benchmark_config, build_model, cluster_layers
+from repro.runtime import StageProfiler
+
+
+@pytest.fixture(scope="session")
+def tiny_gpt():
+    """A 2-block GPT with Table-IV widths (cheap but structurally real)."""
+    return build_model(benchmark_config("gpt", n_layers=2))
+
+
+@pytest.fixture(scope="session")
+def tiny_moe():
+    return build_model(benchmark_config("moe", n_layers=2))
+
+
+@pytest.fixture(scope="session")
+def tiny_gpt_profiler(tiny_gpt):
+    return StageProfiler(tiny_gpt, aggressive_fusion=True)
+
+
+@pytest.fixture(scope="session")
+def tiny_gpt_clustering(tiny_gpt):
+    return cluster_layers(tiny_gpt, 4)
+
+
+@pytest.fixture(scope="session")
+def mesh1():
+    return PLATFORM2.mesh(1)
+
+
+@pytest.fixture(scope="session")
+def mesh2():
+    return PLATFORM2.mesh(2)
+
+
+@pytest.fixture(scope="session")
+def mesh3():
+    return PLATFORM2.mesh(3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def toy_graph():
+    """matmul -> relu -> layernorm -> softmax chain with params."""
+    b = GraphBuilder("toy")
+    x = b.input("x", (4, 8))
+    w = b.param("w", (8, 16))
+    h = b.relu(b.matmul(x, w))
+    s, bias = b.param("s", (16,)), b.param("b", (16,))
+    y = b.layer_norm(h, s, bias)
+    b.output(b.softmax(y), "out")
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_gpt, tiny_gpt_profiler, tiny_gpt_clustering, mesh2):
+    """Profiled stage samples over all slices of the tiny GPT on mesh 2."""
+    from repro.predictors import StageSample
+
+    samples = []
+    for (s, e) in tiny_gpt_clustering.all_slices():
+        p = tiny_gpt_profiler.profile_stage(s, e, mesh2, 2, 1)
+        samples.append(StageSample(p.graph, p.latency, p.stage_id))
+    return samples

@@ -1,0 +1,60 @@
+"""CLI surface: parser wiring and the cheap commands."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = make_parser()
+        for argv in (["info"],
+                     ["profile", "--dp", "2"],
+                     ["predict", "--epochs", "3"],
+                     ["search", "--approach", "full"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["profile", "--platform", "platform9"])
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "platform1" in out
+        assert "gpt3-1.3b" in out
+
+    def test_profile_runs(self, capsys):
+        rc = main(["profile", "--family", "gpt", "--layers", "2",
+                   "--mesh", "2", "--dp", "2", "--mp", "1",
+                   "--unit-start", "0", "--unit-end", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "ms" in out
+
+    def test_predict_runs_and_saves(self, capsys, tmp_path):
+        rc = main(["predict", "--family", "gpt", "--layers", "2",
+                   "--units", "3", "--mesh", "2", "--dp", "2", "--mp", "1",
+                   "--epochs", "3", "--sample-fraction", "0.9",
+                   "--predictor", "gcn",
+                   "--save", str(tmp_path / "p.npz")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MRE" in out
+        assert (tmp_path / "p.npz").exists()
+
+    def test_search_single_approach(self, capsys):
+        rc = main(["search", "--family", "gpt", "--layers", "2",
+                   "--units", "3", "--approach", "full",
+                   "--microbatches", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimization cost" in out

@@ -1,0 +1,151 @@
+"""PredTOP core: sampling, the three phases, plan search."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PLATFORM2
+from repro.core import (
+    PlanSearcher,
+    PredTOP,
+    PredTOPConfig,
+    stratified_sample,
+)
+from repro.models import cluster_layers
+from repro.predictors import TrainConfig
+from repro.runtime import StageProfiler, whitebox_latency
+
+
+class TestStratifiedSampling:
+    def _slices(self, n_units=6):
+        return [(i, j) for i in range(n_units)
+                for j in range(i + 1, n_units + 1)]
+
+    def test_fraction_respected(self):
+        slices = self._slices()
+        out = stratified_sample(slices, 0.5, seed=0)
+        assert abs(len(out) - round(0.5 * len(slices))) <= 2
+
+    def test_all_lengths_represented(self):
+        """§VI-1: include stages of different sizes."""
+        slices = self._slices()
+        out = stratified_sample(slices, 0.3, seed=0)
+        lengths = {e - s for (s, e) in out}
+        assert lengths == {e - s for (s, e) in slices}
+
+    def test_subset_and_unique(self):
+        slices = self._slices()
+        out = stratified_sample(slices, 0.4, seed=1)
+        assert len(set(out)) == len(out)
+        assert set(out) <= set(slices)
+
+    def test_full_fraction_returns_everything(self):
+        slices = self._slices()
+        assert set(stratified_sample(slices, 1.0)) == set(slices)
+
+    def test_deterministic(self):
+        slices = self._slices()
+        assert (stratified_sample(slices, 0.4, seed=5)
+                == stratified_sample(slices, 0.4, seed=5))
+
+    def test_minimum_two(self):
+        out = stratified_sample([(0, 1), (1, 2), (0, 2)], 0.01)
+        assert len(out) >= 2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_sample([(0, 1)], 0.0)
+
+    def test_empty_input(self):
+        assert stratified_sample([], 0.5) == []
+
+
+@pytest.fixture(scope="module")
+def predtop(tiny_gpt, tiny_gpt_clustering, mesh2, tiny_gpt_profiler):
+    cfg = PredTOPConfig(
+        sample_fraction=0.6,
+        train=TrainConfig(epochs=10, patience=10, batch_size=8),
+        seed=0,
+    )
+    return PredTOP(tiny_gpt, tiny_gpt_clustering, mesh2, cfg,
+                   profiler=tiny_gpt_profiler)
+
+
+class TestPredTOPPhases:
+    def test_phases_in_order(self, predtop, tiny_gpt_clustering):
+        with pytest.raises(RuntimeError):
+            PredTOP(predtop.model, tiny_gpt_clustering, predtop.mesh,
+                    predtop.config).training_phase()
+
+        profiled = predtop.profiling_phase(dp=2, mp=1)
+        assert 0 < len(profiled) < len(tiny_gpt_clustering.all_slices()) + 1
+        assert predtop.costs.profiling_seconds > 0
+
+        predictor = predtop.training_phase()
+        assert predictor.model is not None
+        assert predtop.costs.training_seconds > 0
+
+        preds = predtop.prediction_phase()
+        assert len(preds) == len(tiny_gpt_clustering.all_slices())
+        assert all(v > 0 for v in preds.values())
+        assert predtop.costs.inference_seconds > 0
+
+    def test_whitebox_composition(self):
+        assert PredTOP.predict_iteration_latency([0.1, 0.2], 4) == \
+            pytest.approx(whitebox_latency([0.1, 0.2], 4))
+
+    def test_prediction_before_training_raises(self, tiny_gpt,
+                                               tiny_gpt_clustering, mesh2):
+        p = PredTOP(tiny_gpt, tiny_gpt_clustering, mesh2)
+        with pytest.raises(RuntimeError):
+            p.prediction_phase()
+
+
+@pytest.fixture(scope="module")
+def searcher(tiny_gpt, tiny_gpt_clustering, tiny_gpt_profiler):
+    return PlanSearcher(
+        tiny_gpt, tiny_gpt_clustering, PLATFORM2.cluster(),
+        n_microbatches=4,
+        profiler=tiny_gpt_profiler,
+        sample_fraction=0.5,
+        train_config=TrainConfig(epochs=6, patience=6, batch_size=8),
+        seed=0,
+    )
+
+
+class TestPlanSearch:
+    def test_full_profiling_plan_feasible(self, searcher):
+        r = searcher.search_full()
+        assert r.plan.feasible
+        assert r.optimization_cost > 0
+        assert r.true_iteration_latency > 0
+        assert r.plan.total_devices() == 4
+
+    def test_partial_cheaper_than_full(self, searcher):
+        full = searcher.search_full()
+        partial = searcher.search_partial()
+        assert partial.optimization_cost < full.optimization_cost
+        assert partial.n_table_entries < full.n_table_entries
+
+    def test_predtop_cheaper_profiling_than_full(self, searcher):
+        full = searcher.search_full()
+        pt = searcher.search_predtop("gcn")
+        assert pt.cost_breakdown["profiling"] < full.optimization_cost
+        assert pt.plan.feasible
+        # the table is complete: sampled measurements + predictions
+        assert pt.n_table_entries == full.n_table_entries
+
+    def test_predtop_plan_quality_not_catastrophic(self, searcher):
+        full = searcher.search_full()
+        pt = searcher.search_predtop("gcn")
+        assert pt.true_iteration_latency <= 3 * full.true_iteration_latency
+
+    def test_full_plan_latency_is_optimal_among_approaches(self, searcher):
+        """Ground-truth profiling can never pick a worse plan than
+        prediction-based search (when both are scored by ground truth)."""
+        full = searcher.search_full()
+        pt = searcher.search_predtop("gcn")
+        assert full.true_iteration_latency <= pt.true_iteration_latency + 1e-9
+
+    def test_unknown_approach(self, searcher):
+        with pytest.raises(ValueError):
+            searcher.run("oracle")

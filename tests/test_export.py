@@ -1,0 +1,50 @@
+"""CSV exporters."""
+
+import csv
+
+from repro.experiments.export import (
+    export_mre_grid,
+    export_series,
+    export_use_case,
+    write_csv,
+)
+
+
+def _read(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestExport:
+    def test_write_csv(self, tmp_path):
+        p = write_csv(tmp_path / "x.csv", ("a", "b"), [(1, 2), (3, 4)])
+        rows = _read(p)
+        assert rows[0] == ["a", "b"]
+        assert rows[1:] == [["1", "2"], ["3", "4"]]
+
+    def test_export_mre_grid(self, tmp_path):
+        grid = {("s1", 0.5, "gcn"): 10.0, ("s1", 0.5, "gat"): 12.5}
+        p = export_mre_grid(grid, tmp_path / "grid.csv")
+        rows = _read(p)
+        assert rows[0] == ["scenario", "fraction", "predictor", "mre_pct"]
+        assert len(rows) == 3
+        assert rows[1][3] == "12.5000"  # gat sorts first
+
+    def test_export_series(self, tmp_path):
+        p = export_series([0.1, 0.2], tmp_path / "s.csv", name="latency")
+        rows = _read(p)
+        assert rows[0] == ["index", "latency"]
+        assert rows[2] == ["1", "0.2"]
+
+    def test_export_use_case(self, tmp_path):
+        data = {"full": {"cost": 100.0, "latency": 0.5, "stages": 2},
+                "partial": {"cost": 50.0, "latency": 0.6, "stages": 3}}
+        p = export_use_case(data, tmp_path / "u.csv")
+        rows = _read(p)
+        assert rows[0][0] == "approach"
+        assert rows[1][0] == "full"
+        assert rows[1][3] == "2"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = write_csv(tmp_path / "deep" / "dir" / "x.csv", ("a",), [(1,)])
+        assert p.exists()

@@ -1,0 +1,187 @@
+"""GraphBuilder shape/dtype inference."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, broadcast_shapes
+from repro.ir.ops import node_flops
+
+
+def _b():
+    return GraphBuilder("t")
+
+
+class TestBroadcastShapes:
+    def test_equal(self):
+        assert broadcast_shapes((2, 3), (2, 3)) == (2, 3)
+
+    def test_scalar(self):
+        assert broadcast_shapes((2, 3), ()) == (2, 3)
+
+    def test_ones_expand(self):
+        assert broadcast_shapes((2, 1, 4), (3, 1)) == (2, 3, 4)
+
+    def test_incompatible(self):
+        with pytest.raises(ValueError):
+            broadcast_shapes((2, 3), (4,))
+
+    @given(st.lists(st.integers(1, 5), max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_self_broadcast_identity(self, shape):
+        assert broadcast_shapes(tuple(shape), tuple(shape)) == tuple(shape)
+
+
+class TestElementwise:
+    def test_add_promotes_dtype(self):
+        b = _b()
+        x = b.input("x", (2, 3), "float16")
+        y = b.input("y", (2, 3), "float32")
+        z = b.add(x, y)
+        assert z.dtype.name == "float32"
+
+    def test_compare_returns_bool(self):
+        b = _b()
+        x = b.input("x", (4,))
+        y = b.input("y", (4,))
+        assert b.compare(x, y).dtype.name == "bool"
+
+    def test_select_broadcast(self):
+        b = _b()
+        p = b.input("p", (2, 1), "bool")
+        x = b.input("x", (2, 3))
+        y = b.input("y", (3,))
+        assert b.select(p, x, y).shape == (2, 3)
+
+
+class TestMatmul:
+    def test_weight_matmul(self):
+        b = _b()
+        x = b.input("x", (8, 16))
+        w = b.param("w", (16, 32))
+        y = b.matmul(x, w)
+        assert y.shape == (8, 32)
+        node = b.graph.nodes[y.id]
+        assert node.params["contract"] == 16
+        assert node_flops(node, [x.spec, w.spec]) == 2 * 8 * 32 * 16
+
+    def test_batched(self):
+        b = _b()
+        x = b.input("x", (4, 2, 8, 16))
+        y = b.input("y", (4, 2, 16, 8))
+        assert b.matmul(x, y).shape == (4, 2, 8, 8)
+
+    def test_mismatch_raises(self):
+        b = _b()
+        x = b.input("x", (8, 16))
+        w = b.param("w", (8, 32))
+        with pytest.raises(ValueError):
+            b.matmul(x, w)
+
+
+class TestReductions:
+    def test_reduce_sum_drops_axis(self):
+        b = _b()
+        x = b.input("x", (2, 3, 4))
+        assert b.reduce_sum(x, (1,)).shape == (2, 4)
+
+    def test_reduce_sum_keepdims(self):
+        b = _b()
+        x = b.input("x", (2, 3, 4))
+        assert b.reduce_sum(x, (-1,), keepdims=True).shape == (2, 3, 1)
+
+    def test_reduce_mean_emits_two_ops(self):
+        b = _b()
+        x = b.input("x", (2, 4))
+        before = len(b.graph)
+        b.reduce_mean(x, (1,))
+        # reduce_sum + scale literal + mul
+        assert len(b.graph) == before + 3
+
+    def test_argmax_is_int(self):
+        b = _b()
+        x = b.input("x", (2, 5))
+        v = b.argmax(x, 1)
+        assert v.shape == (2,) and v.dtype.kind == "i"
+
+
+class TestDataMovement:
+    def test_reshape_size_checked(self):
+        b = _b()
+        x = b.input("x", (2, 6))
+        assert b.reshape(x, (3, 4)).shape == (3, 4)
+        with pytest.raises(ValueError):
+            b.reshape(x, (5, 2))
+
+    def test_transpose_perm_checked(self):
+        b = _b()
+        x = b.input("x", (2, 3, 4))
+        assert b.transpose(x, (2, 0, 1)).shape == (4, 2, 3)
+        with pytest.raises(ValueError):
+            b.transpose(x, (0, 0, 1))
+
+    def test_slice_shape(self):
+        b = _b()
+        x = b.input("x", (8, 8))
+        assert b.slice(x, (2, 0), (6, 8)).shape == (4, 8)
+
+    def test_concatenate(self):
+        b = _b()
+        x = b.input("x", (2, 3))
+        y = b.input("y", (2, 5))
+        assert b.concatenate([x, y], axis=1).shape == (2, 8)
+
+    def test_convert_changes_dtype_only(self):
+        b = _b()
+        x = b.input("x", (2, 3), "float32")
+        y = b.convert(x, "float16")
+        assert y.shape == (2, 3) and y.dtype.name == "float16"
+
+
+class TestGatherScatter:
+    def test_gather_embedding_shape(self):
+        b = _b()
+        t = b.param("t", (100, 8))
+        i = b.input("i", (4, 6), "int32")
+        assert b.gather(t, i).shape == (4, 6, 8)
+
+    def test_one_hot(self):
+        b = _b()
+        i = b.input("i", (4,), "int32")
+        assert b.one_hot(i, 10).shape == (4, 10)
+
+    def test_top_k_pair(self):
+        b = _b()
+        x = b.input("x", (4, 16))
+        v, i = b.top_k(x, 2)
+        assert v.shape == (4, 2) and i.dtype.kind == "i"
+
+
+class TestMacros:
+    def test_softmax_shape_preserved(self):
+        b = _b()
+        x = b.input("x", (2, 8))
+        assert b.softmax(x).shape == (2, 8)
+
+    def test_layer_norm_emits_primitives(self):
+        b = _b()
+        x = b.input("x", (2, 8))
+        s, bi = b.param("s", (8,)), b.param("bi", (8,))
+        y = b.layer_norm(x, s, bi)
+        assert y.shape == (2, 8)
+        ops = {n.op for n in b.graph.operators()}
+        assert {"reduce_sum", "rsqrt", "mul", "add", "sub"} <= ops
+
+    def test_gelu_uses_erf(self):
+        b = _b()
+        x = b.input("x", (2, 8))
+        b.gelu(x)
+        assert any(n.op == "erf" for n in b.graph.operators())
+
+    def test_unregistered_op_rejected(self):
+        b = _b()
+        x = b.input("x", (2,))
+        with pytest.raises(ValueError):
+            b.emit("not_an_op", (x,), x.spec)

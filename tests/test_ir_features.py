@@ -1,0 +1,103 @@
+"""Table-I node feature encoding and serialization round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ALL_DTYPES,
+    FEATURE_DIM,
+    MAX_RANK,
+    NODE_TYPES,
+    OP_TYPES,
+    GraphBuilder,
+    dtype_index,
+    graph_features,
+    node_features,
+    op_index,
+)
+from repro.ir.serialize import dumps, graph_from_dict, graph_to_dict, loads
+
+
+class TestFeatures:
+    def test_feature_dim(self, toy_graph):
+        f = graph_features(toy_graph)
+        assert f.shape == (len(toy_graph), FEATURE_DIM)
+
+    def test_one_hot_blocks_sum_to_one(self, toy_graph):
+        f = graph_features(toy_graph)
+        op_block = f[:, :len(OP_TYPES)]
+        assert np.allclose(op_block.sum(axis=1), 1.0)
+        off = len(OP_TYPES) + MAX_RANK
+        dt_block = f[:, off:off + len(ALL_DTYPES)]
+        assert np.allclose(dt_block.sum(axis=1), 1.0)
+        off += len(ALL_DTYPES)
+        nt_block = f[:, off:off + len(NODE_TYPES)]
+        assert np.allclose(nt_block.sum(axis=1), 1.0)
+
+    def test_log_scaled_dims(self):
+        """§IV-B3: tensor dims are log-scaled so they cannot dominate."""
+        b = GraphBuilder("f")
+        x = b.input("x", (1024, 51200))
+        f = node_features(b.graph.nodes[x.id])
+        dims = f[len(OP_TYPES):len(OP_TYPES) + MAX_RANK]
+        assert dims[0] == pytest.approx(math.log1p(1024))
+        assert dims[1] == pytest.approx(math.log1p(51200))
+        assert dims.max() < 12  # log scale keeps magnitudes small
+
+    def test_node_type_encoded(self, toy_graph):
+        inp = toy_graph.inputs()[0]
+        f = node_features(inp)
+        off = len(OP_TYPES) + MAX_RANK + len(ALL_DTYPES)
+        assert f[off + NODE_TYPES.index("input")] == 1.0
+
+    def test_op_index_consistency(self):
+        for i, name in enumerate(OP_TYPES):
+            assert op_index(name) == i
+        with pytest.raises(ValueError):
+            op_index("bogus")
+
+    def test_dtype_index_consistency(self):
+        for i, d in enumerate(ALL_DTYPES):
+            assert dtype_index(d) == i
+
+    def test_fused_node_carries_flops_feature(self, tiny_gpt):
+        from repro.ir import fuse_elementwise, prune_graph
+
+        g, _ = fuse_elementwise(prune_graph(tiny_gpt.stage_graph(1, 2)))
+        fused = [n for n in g.operators() if n.op == "fused_elementwise"]
+        assert fused
+        f = node_features(fused[0])
+        assert f[-2] > 0  # log1p(flops)
+        assert f[-1] >= 2  # chain length
+
+
+class TestSerialize:
+    def test_roundtrip_preserves_structure(self, toy_graph):
+        g2 = loads(dumps(toy_graph))
+        assert len(g2) == len(toy_graph)
+        for a, b in zip(toy_graph.nodes, g2.nodes):
+            assert a.op == b.op
+            assert a.inputs == b.inputs
+            assert a.out == b.out
+            assert a.node_type == b.node_type
+
+    def test_params_tuple_roundtrip(self):
+        b = GraphBuilder("s")
+        x = b.input("x", (2, 3, 4))
+        b.output(b.transpose(x, (2, 0, 1)))
+        g2 = loads(dumps(b.build()))
+        tr = next(n for n in g2.operators() if n.op == "transpose")
+        assert tr.params["perm"] == (2, 0, 1)
+
+    def test_features_invariant_under_roundtrip(self, toy_graph):
+        f1 = graph_features(toy_graph)
+        f2 = graph_features(loads(dumps(toy_graph)))
+        assert np.allclose(f1, f2)
+
+    def test_dict_roundtrip(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(0, 2)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert len(g2) == len(g)
+        g2.validate()

@@ -1,0 +1,132 @@
+"""Graph/TensorSpec structural invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Graph, GraphBuilder, TensorSpec, dtype
+
+
+class TestTensorSpec:
+    def test_size_and_bytes(self):
+        t = TensorSpec((4, 8, 16), dtype("float32"))
+        assert t.size == 512
+        assert t.nbytes == 2048
+        assert t.rank == 3
+
+    def test_scalar(self):
+        t = TensorSpec((), dtype("float16"))
+        assert t.size == 1
+        assert t.nbytes == 2
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, -1), dtype("float32"))
+
+    def test_str(self):
+        assert str(TensorSpec((2, 3), dtype("int32"))) == "int32[2,3]"
+
+    def test_dtype_coerced_from_string(self):
+        t = TensorSpec((1,), "float64")
+        assert t.dtype.itemsize == 8
+
+
+class TestGraph:
+    def test_add_node_assigns_dense_ids(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), TensorSpec((2,), "float32"))
+        assert (a.id, b.id) == (0, 1)
+        assert len(g) == 2
+        assert g.num_edges == 1
+
+    def test_forward_reference_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_node("neg", (0,), TensorSpec((2,), "float32"))
+
+    def test_consumers_tracked(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), a.out)
+        c = g.add_node("abs", (a.id,), a.out)
+        assert set(g.consumers(a.id)) == {b.id, c.id}
+        assert g.consumers(c.id) == ()
+
+    def test_validate_rejects_leaf_with_operands(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        g.add_node("neg", (a.id,), a.out)
+        g.nodes[1].node_type = "literal"  # corrupt
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_validate_rejects_multi_operand_output(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), a.out)
+        g.nodes[1] = type(g.nodes[1])(1, "iota", (0, 0), a.out, "output")
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_depths_chain(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), a.out)
+        c = g.add_node("neg", (b.id,), a.out)
+        assert g.depths() == [0, 1, 2]
+        assert g.critical_path_length() == 3
+
+    def test_depths_diamond(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), a.out)
+        c = g.add_node("abs", (a.id,), a.out)
+        d = g.add_node("add", (b.id, c.id), a.out)
+        assert g.depths() == [0, 1, 1, 2]
+
+    def test_subgraph_without_rewires_consumers(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        r = g.add_node("reshape", (a.id,), TensorSpec((2, 1), "float32"))
+        n = g.add_node("neg", (r.id,), r.out)
+        out = g.subgraph_without({r.id})
+        assert len(out) == 2
+        assert out.nodes[1].inputs == (0,)
+        out.validate()
+
+    def test_subgraph_without_refuses_multi_input_drop(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("add", (a.id, a.id), a.out)
+        with pytest.raises(ValueError):
+            g.subgraph_without({b.id})
+
+    def test_node_kind_partitions(self, toy_graph):
+        total = (len(toy_graph.inputs()) + len(toy_graph.literals())
+                 + len(toy_graph.operators()) + len(toy_graph.outputs()))
+        assert total == len(toy_graph)
+
+
+@given(n_ops=st.integers(1, 30), fanout=st.integers(1, 3),
+       seed=st.integers(0, 10000))
+@settings(max_examples=25, deadline=None)
+def test_random_graphs_topologically_valid(n_ops, fanout, seed):
+    """Randomly wired graphs built through add_node always validate."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    g = Graph("rand")
+    g.add_node("iota", (), TensorSpec((2, 2), "float32"), "input")
+    for _ in range(n_ops):
+        k = int(rng.integers(1, fanout + 1))
+        ins = rng.integers(0, len(g), size=min(k, len(g)))
+        if len(set(ins.tolist())) < len(ins):
+            ins = list(set(ins.tolist()))
+        g.add_node("add" if len(ins) > 1 else "neg", tuple(ins),
+                   TensorSpec((2, 2), "float32"))
+    g.validate()
+    depths = g.depths()
+    for node in g.nodes:
+        for i in node.inputs:
+            assert depths[i] < depths[node.id]

@@ -1,0 +1,128 @@
+"""Op registry, dtypes, FLOP/byte accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    ALL_DTYPES,
+    OP_TYPES,
+    GraphBuilder,
+    TensorSpec,
+    dtype,
+    node_bytes,
+    node_flops,
+    op_def,
+    promote,
+)
+from repro.ir.ops import is_registered
+
+
+class TestDtypes:
+    def test_known_dtypes(self):
+        assert dtype("float32").itemsize == 4
+        assert dtype("float16").itemsize == 2
+        assert dtype("int32").kind == "i"
+        assert dtype("bool").kind == "b"
+
+    def test_idempotent(self):
+        d = dtype("float32")
+        assert dtype(d) is d
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            dtype("complex64")
+
+    def test_promote_float_beats_int(self):
+        assert promote("int32", "float16").name == "float16"
+
+    def test_promote_wider_float_wins(self):
+        assert promote("float16", "float32").name == "float32"
+
+    def test_promote_bool_lowest(self):
+        assert promote("bool", "int32").name == "int32"
+
+    @given(st.sampled_from(ALL_DTYPES), st.sampled_from(ALL_DTYPES))
+    @settings(max_examples=30, deadline=None)
+    def test_promote_commutative_width(self, a, b):
+        assert promote(a, b).itemsize == promote(b, a).itemsize
+
+
+class TestRegistry:
+    def test_all_op_types_registered(self):
+        for name in OP_TYPES:
+            assert is_registered(name)
+            assert op_def(name).name == name
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            op_def("conv3d")
+
+    def test_prunable_set(self):
+        for name in ("reshape", "convert_element_type", "broadcast_in_dim"):
+            assert op_def(name).prunable
+        assert not op_def("dot_general").prunable
+        assert not op_def("transpose").prunable
+
+    def test_categories_valid(self):
+        cats = {"contraction", "elementwise", "reduction", "data_movement",
+                "gather_scatter"}
+        for name in OP_TYPES:
+            assert op_def(name).category in cats
+
+
+class TestAccounting:
+    def _node(self, build):
+        b = GraphBuilder("a")
+        v = build(b)
+        node = b.graph.nodes[v.id]
+        ins = [b.graph.nodes[i].out for i in node.inputs]
+        return node, ins
+
+    def test_matmul_flops(self):
+        node, ins = self._node(
+            lambda b: b.matmul(b.input("x", (4, 8)), b.param("w", (8, 16))))
+        assert node_flops(node, ins) == 2 * 4 * 16 * 8
+
+    def test_elementwise_flops_scale_with_size(self):
+        node, ins = self._node(
+            lambda b: b.add(b.input("x", (100,)), b.input("y", (100,))))
+        assert node_flops(node, ins) == 100
+
+    def test_transcendental_more_expensive(self):
+        n1, i1 = self._node(lambda b: b.exp(b.input("x", (64,))))
+        n2, i2 = self._node(lambda b: b.neg(b.input("x", (64,))))
+        assert node_flops(n1, i1) > node_flops(n2, i2)
+
+    def test_reduction_flops_use_input_size(self):
+        node, ins = self._node(
+            lambda b: b.reduce_sum(b.input("x", (10, 20)), (1,)))
+        assert node_flops(node, ins) == 200
+
+    def test_data_movement_zero_flops(self):
+        node, ins = self._node(
+            lambda b: b.reshape(b.input("x", (4, 4)), (16,)))
+        assert node_flops(node, ins) == 0.0
+
+    def test_bytes_read_plus_written(self):
+        node, ins = self._node(
+            lambda b: b.add(b.input("x", (100,)), b.input("y", (100,))))
+        assert node_bytes(node, ins) == 3 * 100 * 4
+
+    def test_leaf_nodes_cost_nothing(self):
+        b = GraphBuilder("a")
+        x = b.input("x", (8, 8))
+        node = b.graph.nodes[x.id]
+        assert node_flops(node, []) == 0.0
+        assert node_bytes(node, []) == 0.0
+
+    def test_topk_flops_logarithmic(self):
+        n1, i1 = self._node(lambda b: b.top_k(b.input("x", (1, 1024)), 2)[0])
+        n2, i2 = self._node(lambda b: b.top_k(b.input("x", (1, 1024)), 64)[0])
+        assert node_flops(n2, i2) > node_flops(n1, i1)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.ir.ops import OpDef, register
+
+        with pytest.raises(ValueError):
+            register(OpDef("add", "elementwise", lambda n, i: 0.0))

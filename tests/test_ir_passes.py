@@ -1,0 +1,142 @@
+"""Pruning (§IV-B4) and fusion passes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    GraphBuilder,
+    fuse_elementwise,
+    node_flops,
+    prunable_nodes,
+    prune_graph,
+    pruning_ratio,
+)
+
+
+def _graph_flops(graph):
+    total = 0.0
+    for n in graph.nodes:
+        ins = [graph.nodes[i].out for i in n.inputs]
+        total += node_flops(n, ins)
+    return total
+
+
+class TestPruning:
+    def test_removes_reshape_and_convert(self):
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 6))
+        r = b.reshape(x, (3, 4))
+        c = b.convert(r, "float16")
+        y = b.neg(c)
+        b.output(y)
+        g = b.build()
+        pruned = prune_graph(g)
+        ops = [n.op for n in pruned.operators()]
+        assert "reshape" not in ops
+        assert "convert_element_type" not in ops
+        assert "neg" in ops
+
+    def test_fixed_point(self, toy_graph):
+        pruned = prune_graph(toy_graph)
+        assert not prunable_nodes(pruned)
+
+    def test_dtype_change_still_visible(self):
+        """§IV-B4: conversion is implied by dtype mismatch across an edge."""
+        b = GraphBuilder("p")
+        x = b.input("x", (4,), "float32")
+        c = b.convert(x, "float16")
+        y = b.neg(c)
+        b.output(y)
+        pruned = prune_graph(b.build())
+        neg = next(n for n in pruned.operators() if n.op == "neg")
+        src = pruned.nodes[neg.inputs[0]]
+        assert src.out.dtype != neg.out.dtype
+
+    def test_output_producer_protected(self):
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 6))
+        r = b.reshape(x, (3, 4))
+        b.output(r)
+        pruned = prune_graph(b.build())
+        # the reshape feeding the output node must survive
+        assert any(n.op == "reshape" for n in pruned.operators())
+
+    def test_ratio(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(1, 2)
+        pruned = prune_graph(g)
+        r = pruning_ratio(g, pruned)
+        assert 0.0 < r < 0.5
+
+    def test_prune_preserves_semantic_nodes(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(1, 2)
+        pruned = prune_graph(g)
+        for op in ("dot_general", "exp", "reduce_sum"):
+            before = sum(1 for n in g.operators() if n.op == op)
+            after = sum(1 for n in pruned.operators() if n.op == op)
+            assert before == after
+
+
+class TestFusion:
+    def test_chain_fused_into_one_node(self):
+        b = GraphBuilder("f")
+        x = b.input("x", (16,))
+        y = b.exp(b.neg(b.abs(x)))
+        b.output(y)
+        fused, stats = fuse_elementwise(b.build())
+        assert stats.groups == 1
+        assert stats.fused_nodes == 3
+        f = next(n for n in fused.operators() if n.op == "fused_elementwise")
+        assert f.params["n_fused"] == 3
+
+    def test_flops_preserved(self, tiny_gpt):
+        g = prune_graph(tiny_gpt.stage_graph(1, 2))
+        fused, _ = fuse_elementwise(g)
+        assert _graph_flops(fused) == pytest.approx(_graph_flops(g), rel=1e-9)
+
+    def test_aggressive_fuses_more(self, tiny_gpt):
+        g = prune_graph(tiny_gpt.stage_graph(1, 2))
+        f1, _ = fuse_elementwise(g)
+        f2, _ = fuse_elementwise(g, aggressive=True)
+        assert len(f2) < len(f1) < len(g)
+
+    def test_multi_consumer_not_absorbed(self):
+        b = GraphBuilder("f")
+        x = b.input("x", (16,))
+        n = b.neg(x)
+        y = b.add(b.exp(n), b.abs(n))  # n has two consumers
+        b.output(y)
+        fused, _ = fuse_elementwise(b.build())
+        fused.validate()
+        # the value of `neg` is still consumable by both branches
+        assert _graph_flops(fused) == pytest.approx(_graph_flops(b.graph))
+
+    def test_dot_general_never_fused(self, tiny_gpt):
+        g = prune_graph(tiny_gpt.stage_graph(1, 2))
+        fused, _ = fuse_elementwise(g, aggressive=True)
+        before = sum(1 for n in g.operators() if n.op == "dot_general")
+        after = sum(1 for n in fused.operators() if n.op == "dot_general")
+        assert before == after
+
+    def test_idempotent_on_fused_graph(self, tiny_gpt):
+        g = prune_graph(tiny_gpt.stage_graph(1, 2))
+        f1, _ = fuse_elementwise(g)
+        f2, stats2 = fuse_elementwise(f1)
+        # fused_elementwise nodes are not re-fusable by the plain pass
+        assert len(f2) == len(f1) or stats2.groups >= 0
+        f2.validate()
+
+
+@given(chain_len=st.integers(2, 12))
+@settings(max_examples=15, deadline=None)
+def test_fusion_collapses_any_unary_chain(chain_len):
+    b = GraphBuilder("f")
+    x = b.input("x", (8,))
+    v = x
+    for _ in range(chain_len):
+        v = b.neg(v)
+    b.output(v)
+    fused, stats = fuse_elementwise(b.build())
+    assert stats.groups == 1
+    assert stats.fused_nodes == chain_len
+    fused.validate()

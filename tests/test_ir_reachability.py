@@ -1,0 +1,131 @@
+"""DAGRA reachability masks, DAGPE depths, GCN adjacency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    Graph,
+    GraphBuilder,
+    TensorSpec,
+    ancestor_matrix,
+    node_depths,
+    reachability_mask,
+    undirected_adjacency,
+)
+
+
+def _chain(n):
+    g = Graph("chain")
+    g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+    for i in range(1, n):
+        g.add_node("neg", (i - 1,), TensorSpec((2,), "float32"))
+    return g
+
+
+def _random_dag(n, seed, p=0.3):
+    rng = np.random.default_rng(seed)
+    g = Graph("rand")
+    g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+    for i in range(1, n):
+        preds = [j for j in range(i) if rng.random() < p] or [i - 1]
+        g.add_node("add" if len(preds) > 1 else "neg", tuple(preds),
+                   TensorSpec((2,), "float32"))
+    return g
+
+
+class TestAncestors:
+    def test_chain_is_upper_triangular(self):
+        a = ancestor_matrix(_chain(5))
+        expected = np.triu(np.ones((5, 5), bool), 1)
+        assert (a == expected).all()
+
+    def test_diamond(self):
+        g = Graph()
+        g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        g.add_node("neg", (0,), TensorSpec((2,), "float32"))
+        g.add_node("neg", (0,), TensorSpec((2,), "float32"))
+        g.add_node("add", (1, 2), TensorSpec((2,), "float32"))
+        a = ancestor_matrix(g)
+        assert a[0, 3] and a[1, 3] and a[2, 3]
+        assert not a[1, 2] and not a[2, 1]
+
+    def test_empty(self):
+        assert ancestor_matrix(Graph()).shape == (0, 0)
+
+
+class TestReachabilityMask:
+    def test_symmetric_with_self_loops(self, toy_graph):
+        m = reachability_mask(toy_graph)
+        assert (m == m.T).all()
+        assert m.diagonal().all()
+
+    def test_chain_fully_connected(self):
+        m = reachability_mask(_chain(6))
+        assert m.all()
+
+    def test_parallel_branches_not_connected(self):
+        g = Graph()
+        g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        g.add_node("neg", (0,), TensorSpec((2,), "float32"))
+        g.add_node("neg", (0,), TensorSpec((2,), "float32"))
+        m = reachability_mask(g)
+        assert not m[1, 2] and not m[2, 1]
+
+    def test_k_limits_hops(self):
+        m = reachability_mask(_chain(6), k=2)
+        assert m[0, 2] and not m[0, 3]
+
+    @given(n=st.integers(2, 40), seed=st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_mask_equals_transitive_closure_via_networkx(self, n, seed):
+        import networkx as nx
+
+        g = _random_dag(n, seed)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        for node in g.nodes:
+            for i in node.inputs:
+                nxg.add_edge(i, node.id)
+        closure = nx.transitive_closure(nxg)
+        m = reachability_mask(g)
+        for u in range(n):
+            for v in range(n):
+                expected = u == v or closure.has_edge(u, v) or closure.has_edge(v, u)
+                assert m[u, v] == expected
+
+
+class TestDepths:
+    def test_depths_array(self, toy_graph):
+        d = node_depths(toy_graph)
+        assert d.dtype == np.int64
+        assert d.min() == 0
+
+    @given(n=st.integers(2, 30), seed=st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_depth_strictly_increases_along_edges(self, n, seed):
+        g = _random_dag(n, seed)
+        d = node_depths(g)
+        for node in g.nodes:
+            for i in node.inputs:
+                assert d[i] < d[node.id]
+
+
+class TestAdjacency:
+    def test_symmetric(self, toy_graph):
+        a = undirected_adjacency(toy_graph)
+        assert np.allclose(a, a.T)
+
+    def test_normalized_rows_bounded(self, toy_graph):
+        a = undirected_adjacency(toy_graph)
+        assert a.max() <= 1.0 + 1e-9
+        assert (a >= 0).all()
+
+    def test_unnormalized_binary(self, toy_graph):
+        a = undirected_adjacency(toy_graph, normalize=False)
+        assert set(np.unique(a)) <= {0.0, 1.0}
+
+    def test_no_self_loops_option(self, toy_graph):
+        a = undirected_adjacency(toy_graph, self_loops=False, normalize=False)
+        assert a.diagonal().sum() == 0

@@ -1,0 +1,156 @@
+"""Model zoo: Table-IV configs, layer emission, stage graphs, clustering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    GPT3_1_3B,
+    MOE_2_6B,
+    ModelConfig,
+    benchmark_config,
+    build_model,
+    cluster_layers,
+    stage_count,
+)
+
+
+class TestConfigs:
+    def test_gpt_table_iv(self):
+        c = GPT3_1_3B
+        assert (c.seq_len, c.hidden, c.n_layers, c.n_heads, c.vocab) == (
+            1024, 2048, 24, 32, 51200)
+
+    def test_moe_table_iv(self):
+        c = MOE_2_6B
+        assert (c.seq_len, c.hidden, c.n_layers, c.n_heads, c.vocab) == (
+            1024, 768, 32, 16, 32000)
+        assert c.n_experts == 16
+        assert c.expert_group == 2048
+
+    def test_gpt_parameter_count_close_to_1_3b(self):
+        m = build_model(GPT3_1_3B)
+        assert 1.2e9 < m.param_count() < 1.6e9
+
+    def test_moe_parameter_count_close_to_2_6b(self):
+        m = build_model(MOE_2_6B)
+        assert 2.2e9 < m.param_count() < 2.9e9
+
+    def test_head_dim(self):
+        assert GPT3_1_3B.head_dim == 64
+        assert MOE_2_6B.head_dim == 48
+
+    def test_expert_capacity(self):
+        assert MOE_2_6B.expert_capacity == 2048 * 2 // 16
+
+    def test_scaled_preserves_widths(self):
+        s = GPT3_1_3B.scaled(4)
+        assert s.n_layers == 4
+        assert s.hidden == GPT3_1_3B.hidden
+        assert s.name != GPT3_1_3B.name
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", "gpt", 128, 100, 2, 3, 1000)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            benchmark_config("resnet")
+
+
+class TestStageGraphs:
+    def test_embedding_stage_takes_tokens(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(0, 1)
+        inp = g.inputs()[0]
+        assert inp.out.dtype.kind == "i"
+        assert inp.out.shape == (tiny_gpt.cfg.microbatch, tiny_gpt.cfg.seq_len)
+
+    def test_mid_stage_takes_hidden(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(1, 2)
+        inp = g.inputs()[0]
+        assert inp.out.shape == (tiny_gpt.cfg.microbatch,
+                                 tiny_gpt.cfg.seq_len, tiny_gpt.cfg.hidden)
+
+    def test_head_stage_outputs_logits(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(len(tiny_gpt.layers) - 1, len(tiny_gpt.layers))
+        out = g.outputs()[0]
+        assert out.out.shape[-1] == tiny_gpt.cfg.vocab
+
+    def test_stage_graph_validates(self, tiny_gpt, tiny_moe):
+        for m in (tiny_gpt, tiny_moe):
+            for (s, e) in [(0, 2), (1, 3), (0, len(m.layers))]:
+                m.stage_graph(s, e).validate()
+
+    def test_bad_slice_rejected(self, tiny_gpt):
+        with pytest.raises(ValueError):
+            tiny_gpt.stage_graph(2, 2)
+        with pytest.raises(ValueError):
+            tiny_gpt.stage_graph(0, 99)
+
+    def test_microbatch_overrides_batch_dim(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(1, 2, microbatch=7)
+        assert g.inputs()[0].out.shape[0] == 7
+
+    def test_moe_stage_contains_router_ops(self, tiny_moe):
+        g = tiny_moe.full_graph()
+        ops = {n.op for n in g.operators()}
+        assert {"top_k", "one_hot", "cumsum"} <= ops
+
+    def test_attention_ops_present(self, tiny_gpt):
+        g = tiny_gpt.stage_graph(1, 2)
+        ops = [n.op for n in g.operators()]
+        assert ops.count("dot_general") >= 6  # qkv + qk + av + out proj
+        assert "transpose" in ops
+
+    def test_graphs_grow_with_slice_length(self, tiny_gpt):
+        g1 = tiny_gpt.stage_graph(1, 2)
+        g2 = tiny_gpt.stage_graph(1, 3)
+        assert len(g2) > len(g1)
+
+    def test_activation_bytes(self, tiny_gpt):
+        c = tiny_gpt.cfg
+        assert tiny_gpt.activation_bytes() == c.microbatch * c.seq_len * c.hidden * 4
+
+
+class TestClustering:
+    def test_bounds_cover_all_layers(self, tiny_gpt):
+        cl = cluster_layers(tiny_gpt, 3)
+        assert cl.bounds[0] == 0
+        assert cl.bounds[-1] == len(tiny_gpt.layers)
+        assert list(cl.bounds) == sorted(cl.bounds)
+
+    def test_exact_unit_count(self, tiny_gpt):
+        for u in range(1, len(tiny_gpt.layers) + 1):
+            assert cluster_layers(tiny_gpt, u).n_units == u
+
+    def test_slice_count_triangular(self, tiny_gpt):
+        cl = cluster_layers(tiny_gpt, 4)
+        assert len(cl.all_slices()) == stage_count(4) == 10
+
+    def test_balance_not_degenerate(self):
+        m = build_model(benchmark_config("gpt", n_layers=8))
+        cl = cluster_layers(m, 5)
+        weights = [m.slice_param_count(*cl.unit_range(u))
+                   for u in range(cl.n_units)]
+        assert max(weights) < 3 * (sum(weights) / len(weights))
+
+    def test_invalid_unit_count(self, tiny_gpt):
+        with pytest.raises(ValueError):
+            cluster_layers(tiny_gpt, 0)
+        with pytest.raises(ValueError):
+            cluster_layers(tiny_gpt, 99)
+
+    def test_slice_range_checks(self, tiny_gpt_clustering):
+        with pytest.raises(ValueError):
+            tiny_gpt_clustering.slice_range(2, 2)
+
+    @given(u=st.integers(1, 4))
+    @settings(max_examples=4, deadline=None)
+    def test_slices_are_contiguous_and_distinct(self, u, tiny_gpt):
+        cl = cluster_layers(tiny_gpt, u)
+        slices = cl.all_slices()
+        assert len(set(slices)) == len(slices)
+        for (s, e) in slices:
+            assert 0 <= s < e <= len(tiny_gpt.layers)

@@ -1,0 +1,201 @@
+"""NN modules: layers, optimizer, schedules, losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineDecay,
+    GATConv,
+    GCNConv,
+    LayerNorm,
+    Linear,
+    MaskedMultiHeadAttention,
+    Module,
+    Sequential,
+    Tensor,
+    gelu,
+    global_add_pool,
+    mae,
+    mse,
+    softmax,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        lin = Linear(4, 8, rng)
+        y = lin(Tensor(np.ones((2, 3, 4), np.float32)))
+        assert y.shape == (2, 3, 8)
+
+    def test_no_bias(self, rng):
+        lin = Linear(4, 8, rng, bias=False)
+        assert lin.b is None
+        assert len(lin.parameters()) == 1
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        ln = LayerNorm(16)
+        x = Tensor(rng.normal(2.0, 3.0, size=(4, 16)).astype(np.float32))
+        y = ln(x)
+        assert np.allclose(y.data.mean(-1), 0, atol=1e-4)
+        assert np.allclose(y.data.std(-1), 1, atol=2e-2)
+
+    def test_gradients_flow(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.normal(size=(2, 8)).astype(np.float32),
+                   requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)).astype(np.float32))
+        s = softmax(x)
+        assert np.allclose(s.data.sum(-1), 1, atol=1e-5)
+
+    def test_mask_forbids_positions(self, rng):
+        x = Tensor(rng.normal(size=(1, 4)).astype(np.float32))
+        mask = np.array([[0.0, -1e9, 0.0, -1e9]], np.float32)
+        s = softmax(x, mask=mask)
+        assert s.data[0, 1] < 1e-6 and s.data[0, 3] < 1e-6
+
+    def test_stable_for_large_logits(self):
+        x = Tensor(np.array([[1e4, 1e4 - 1]], np.float32))
+        s = softmax(x)
+        assert np.isfinite(s.data).all()
+
+
+class TestAttention:
+    def test_mask_blocks_information_flow(self, rng):
+        """A node's output must not depend on unreachable nodes."""
+        mha = MaskedMultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        mask = np.eye(4, dtype=bool)[None]  # only self-attention
+        y1 = mha(Tensor(x), mask).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 10.0  # perturb an unreachable node
+        y2 = mha(Tensor(x2), mask).data
+        assert np.allclose(y1[0, :3], y2[0, :3], atol=1e-5)
+
+    def test_reachable_nodes_do_influence(self, rng):
+        mha = MaskedMultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        mask = np.ones((1, 4, 4), bool)
+        y1 = mha(Tensor(x), mask).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 10.0
+        y2 = mha(Tensor(x2), mask).data
+        assert not np.allclose(y1[0, 0], y2[0, 0], atol=1e-3)
+
+    def test_bad_head_split(self, rng):
+        with pytest.raises(ValueError):
+            MaskedMultiHeadAttention(10, 3, rng)
+
+
+class TestGraphConvs:
+    def test_gcn_isolated_node_keeps_self_message(self, rng):
+        conv = GCNConv(4, 6, rng)
+        x = Tensor(rng.normal(size=(1, 3, 4)).astype(np.float32))
+        adj = np.eye(3, dtype=np.float32)[None]
+        y = conv(x, adj)
+        assert y.shape == (1, 3, 6)
+
+    def test_gat_shapes(self, rng):
+        conv = GATConv(4, 8, rng, n_heads=2)
+        x = Tensor(rng.normal(size=(2, 5, 4)).astype(np.float32))
+        adj = np.ones((2, 5, 5), np.float32)
+        assert conv(x, adj).shape == (2, 5, 8)
+
+    def test_global_add_pool_masks_padding(self, rng):
+        x = Tensor(np.ones((1, 4, 3), np.float32))
+        mask = np.array([[1, 1, 0, 0]], np.float32)
+        g = global_add_pool(x, mask)
+        assert np.allclose(g.data, 2.0)
+
+
+class TestModuleMechanics:
+    def test_state_dict_roundtrip(self, rng):
+        m = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        state = m.state_dict()
+        for p in m.parameters():
+            p.data += 1.0
+        m.load_state_dict(state)
+        fresh = m.state_dict()
+        for k in state:
+            assert np.allclose(state[k], fresh[k])
+
+    def test_state_dict_mismatch_rejected(self, rng):
+        m = Linear(4, 8, rng)
+        with pytest.raises(KeyError):
+            m.load_state_dict({"bogus": np.zeros(2)})
+
+    def test_n_parameters(self, rng):
+        m = Linear(4, 8, rng)
+        assert m.n_parameters() == 4 * 8 + 8
+
+    def test_named_parameters_unique(self, rng):
+        m = Sequential(Linear(4, 4, rng), Linear(4, 4, rng))
+        names = [k for k, _ in m.named_parameters()]
+        assert len(names) == len(set(names))
+
+
+class TestOptim:
+    def test_adam_reduces_loss(self, rng):
+        lin = Linear(3, 1, rng)
+        X = rng.normal(size=(32, 3)).astype(np.float32)
+        Y = X @ np.array([[1.0], [2.0], [-1.0]], np.float32)
+        opt = Adam(lin.parameters(), 5e-2)
+        losses = []
+        for _ in range(400):
+            loss = mse(lin(Tensor(X)), Y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] / 10
+
+    def test_cosine_decay_reaches_zero(self):
+        lin = Linear(2, 1, np.random.default_rng(0))
+        opt = Adam(lin.parameters(), 1e-3)
+        sched = CosineDecay(opt, 1e-3, 10)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_warmup_ramps_up(self):
+        lin = Linear(2, 1, np.random.default_rng(0))
+        opt = Adam(lin.parameters(), 1e-3)
+        sched = CosineDecay(opt, 1e-3, 100, warmup_frac=0.2)
+        assert opt.lr < 1e-3 / 2
+        lrs = [sched.step() for _ in range(25)]
+        assert max(lrs[:19]) <= 1e-3 + 1e-12
+        assert lrs[19] == pytest.approx(1e-3, rel=0.05)
+
+    def test_invalid_schedule_args(self):
+        lin = Linear(2, 1, np.random.default_rng(0))
+        opt = Adam(lin.parameters(), 1e-3)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, 1e-3, 0)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, 1e-3, 10, warmup_frac=1.5)
+
+
+class TestLosses:
+    def test_mae_mse_values(self):
+        pred = Tensor(np.array([1.0, 3.0], np.float32))
+        target = np.array([0.0, 1.0], np.float32)
+        assert float(mae(pred, target).data) == pytest.approx(1.5)
+        assert float(mse(pred, target).data) == pytest.approx(2.5)
+
+    def test_gelu_close_to_identity_for_large_x(self):
+        x = Tensor(np.array([10.0], np.float32))
+        assert float(gelu(x).data[0]) == pytest.approx(10.0, rel=1e-3)

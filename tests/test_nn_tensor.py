@@ -1,0 +1,217 @@
+"""Autograd correctness: numerical gradient checks and tape mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.tensor import no_grad, segment_sum, spmm, take_rows
+
+
+def numerical_grad(f, x, eps=1e-3):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        x[i] += eps
+        f1 = f(x)
+        x[i] -= 2 * eps
+        f0 = f(x)
+        x[i] += eps
+        g[i] = (f1 - f0) / (2 * eps)
+    return g
+
+
+def check_op(op, shape=(3, 4), seed=0, tol=2e-2, positive=False):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape)
+    if positive:
+        x0 = np.abs(x0) + 0.5
+
+    def f(xa):
+        t = Tensor(xa.astype(np.float32), requires_grad=True)
+        return float(op(t).sum().data)
+
+    t = Tensor(x0.astype(np.float32), requires_grad=True)
+    loss = op(t).sum()
+    loss.backward()
+    ng = numerical_grad(f, x0.copy())
+    err = np.abs(t.grad - ng).max() / (np.abs(ng).max() + 1e-6)
+    assert err < tol, f"grad error {err}"
+
+
+class TestUnaryGrads:
+    def test_exp(self):
+        check_op(lambda t: t.exp())
+
+    def test_log(self):
+        check_op(lambda t: t.log(), positive=True)
+
+    def test_sqrt(self):
+        check_op(lambda t: t.sqrt(), positive=True)
+
+    def test_tanh(self):
+        check_op(lambda t: t.tanh())
+
+    def test_relu(self):
+        check_op(lambda t: t.relu())
+
+    def test_leaky_relu(self):
+        check_op(lambda t: t.leaky_relu())
+
+    def test_abs(self):
+        check_op(lambda t: t.abs(), positive=True)
+
+    def test_neg(self):
+        check_op(lambda t: -t)
+
+    def test_pow(self):
+        check_op(lambda t: t ** 3)
+
+
+class TestBinaryGrads:
+    def test_add_broadcast(self):
+        rng = np.random.default_rng(1)
+        b0 = rng.normal(size=(4,))
+
+        def op(t):
+            return t + Tensor(b0.astype(np.float32))
+
+        check_op(op)
+
+    def test_mul(self):
+        rng = np.random.default_rng(2)
+        other = Tensor(rng.normal(size=(3, 4)).astype(np.float32))
+        check_op(lambda t: t * other)
+
+    def test_div(self):
+        rng = np.random.default_rng(3)
+        other = Tensor((np.abs(rng.normal(size=(3, 4))) + 1).astype(np.float32))
+        check_op(lambda t: t / other)
+
+    def test_both_sides_of_mul_get_grads(self):
+        a = Tensor(np.ones((2, 2), np.float32), requires_grad=True)
+        b = Tensor(2 * np.ones((2, 2), np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_matmul(self):
+        rng = np.random.default_rng(4)
+        w = Tensor(rng.normal(size=(4, 5)).astype(np.float32))
+        check_op(lambda t: t @ w)
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(5)
+        w = Tensor(rng.normal(size=(2, 4, 5)).astype(np.float32))
+        check_op(lambda t: t @ w, shape=(2, 3, 4))
+
+    def test_matmul_broadcast_rhs_grad(self):
+        """Gradient of a 2-D rhs under a 3-D lhs is summed over batch."""
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.normal(size=(2, 3, 4)).astype(np.float32))
+        w = Tensor(rng.normal(size=(4, 5)).astype(np.float32),
+                   requires_grad=True)
+        (x @ w).sum().backward()
+        assert w.grad.shape == (4, 5)
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        check_op(lambda t: t.reshape(4, 3))
+
+    def test_transpose(self):
+        check_op(lambda t: t.transpose(1, 0))
+
+    def test_swapaxes(self):
+        check_op(lambda t: t.swapaxes(0, 1), shape=(2, 3, 4))
+
+    def test_sum_axis(self):
+        check_op(lambda t: t.sum(axis=1))
+
+    def test_sum_keepdims(self):
+        check_op(lambda t: t.sum(axis=0, keepdims=True))
+
+    def test_mean(self):
+        check_op(lambda t: t.mean(axis=-1))
+
+    def test_max(self):
+        check_op(lambda t: t.max(axis=1), seed=7)
+
+
+class TestSparseOps:
+    def test_take_rows_grad_scatters(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3),
+                   requires_grad=True)
+        idx = np.array([0, 2, 2])
+        take_rows(x, idx).sum().backward()
+        assert np.allclose(x.grad[:, 0], [1, 0, 2, 0])
+
+    def test_segment_sum_forward_and_grad(self):
+        x = Tensor(np.ones((4, 2), np.float32), requires_grad=True)
+        seg = np.array([0, 0, 1, 1])
+        out = segment_sum(x, seg, 3)
+        assert np.allclose(out.data[:, 0], [2, 2, 0])
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_spmm_matches_dense(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(0)
+        a = sp.random(6, 6, density=0.4, random_state=0, format="csr")
+        x0 = rng.normal(size=(6, 3))
+
+        def f(xa):
+            t = Tensor(xa.astype(np.float32), requires_grad=True)
+            return float(spmm(a, t).sum().data)
+
+        t = Tensor(x0.astype(np.float32), requires_grad=True)
+        spmm(a, t).sum().backward()
+        ng = numerical_grad(f, x0.copy())
+        assert np.abs(t.grad - ng).max() < 2e-2
+
+
+class TestTapeMechanics:
+    def test_fanout_accumulation(self):
+        x = Tensor(np.ones(3, np.float32), requires_grad=True)
+        y = x * 2 + x * 3
+        y.sum().backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.0
+        y.sum().backward()  # must not hit the recursion limit
+        assert np.allclose(x.grad, 1.0)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_no_grad_suppresses_tape(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_tape_freed_after_backward(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        y = (x * 2).exp()
+        z = y.sum()
+        z.backward()
+        assert y._backward is None and y._prev == ()
+        assert x.grad is not None  # leaf keeps its grad
+
+    @given(shape=st.tuples(st.integers(1, 4), st.integers(1, 4)))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_shapes(self, shape):
+        x = Tensor(np.ones(shape, np.float32), requires_grad=True)
+        y = x + np.ones((2,) + shape, np.float32)
+        y.sum().backward()
+        assert x.grad.shape == shape
+        assert np.allclose(x.grad, 2.0)

@@ -1,0 +1,118 @@
+"""ShardingSpec algebra and resharding costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PLATFORM2
+from repro.ir import TensorSpec
+from repro.parallel import REPLICATED, ShardingSpec, candidate_specs, reshard_time
+
+
+@pytest.fixture(scope="module")
+def lv22():
+    return PLATFORM2.mesh(3).logical(2, 2)
+
+
+@pytest.fixture(scope="module")
+def lv21():
+    return PLATFORM2.mesh(2).logical(2, 1)
+
+
+class TestShardingSpec:
+    def test_replicated(self):
+        assert REPLICATED.is_replicated
+        assert str(REPLICATED) == "R"
+
+    def test_duplicate_dim_rejected(self):
+        with pytest.raises(ValueError):
+            ShardingSpec(((0, "dp"), (0, "mp")))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ShardingSpec(((0, "dp"), (1, "dp")))
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ShardingSpec(((0, "pp"),))
+
+    def test_shard_factor(self, lv22):
+        assert REPLICATED.shard_factor(lv22) == 1
+        assert ShardingSpec.shard(0, "dp").shard_factor(lv22) == 2
+        assert ShardingSpec.shard2(0, "dp", 1, "mp").shard_factor(lv22) == 4
+
+    def test_valid_for_divisibility(self, lv22):
+        t = TensorSpec((3, 8), "float32")
+        assert not ShardingSpec.shard(0, "dp").valid_for(t, lv22)
+        assert ShardingSpec.shard(1, "mp").valid_for(t, lv22)
+
+    def test_valid_for_rank(self, lv22):
+        t = TensorSpec((8,), "float32")
+        assert not ShardingSpec.shard(1, "mp").valid_for(t, lv22)
+
+    def test_normalized_drops_size1_axes(self, lv21):
+        s = ShardingSpec.shard2(0, "dp", 1, "mp")
+        n = s.normalized(lv21)  # mp axis has size 1 on a (2,1) view
+        assert n.assignments == ((0, "dp"),)
+
+    def test_local_bytes(self, lv22):
+        t = TensorSpec((8, 8), "float32")
+        assert ShardingSpec.shard(0, "dp").local_bytes(t, lv22) == t.nbytes / 2
+
+    def test_candidate_specs_valid(self, lv22):
+        t = TensorSpec((4, 1024, 2048), "float32")
+        cands = candidate_specs(t, lv22)
+        assert REPLICATED in cands
+        assert len(cands) == len({c.assignments for c in cands})
+        for c in cands:
+            assert c.valid_for(t, lv22)
+
+
+class TestReshardTime:
+    def test_identical_free(self, lv22):
+        t = TensorSpec((8, 8), "float32")
+        s = ShardingSpec.shard(0, "dp")
+        assert reshard_time(s, s, t, lv22) == 0.0
+
+    def test_from_replicated_free(self, lv22):
+        t = TensorSpec((8, 8), "float32")
+        assert reshard_time(REPLICATED, ShardingSpec.shard(0, "dp"), t, lv22) == 0.0
+
+    def test_to_replicated_costs_allgather(self, lv22):
+        t = TensorSpec((1024, 1024), "float32")
+        c = reshard_time(ShardingSpec.shard(0, "dp"), REPLICATED, t, lv22)
+        assert c > 0
+
+    def test_kept_axis_free(self, lv22):
+        t = TensorSpec((1024, 1024), "float32")
+        s1 = ShardingSpec.shard(0, "dp")
+        s2 = ShardingSpec.shard2(0, "dp", 1, "mp")
+        assert reshard_time(s1, s2, t, lv22) == 0.0
+
+    def test_moved_axis_charged(self, lv22):
+        t = TensorSpec((1024, 1024), "float32")
+        s1 = ShardingSpec.shard(1, "mp")
+        s2 = ShardingSpec.shard(0, "mp")
+        assert reshard_time(s1, s2, t, lv22) > 0
+
+    def test_cross_node_reshard_slower(self):
+        mesh3 = PLATFORM2.mesh(3)
+        lv = mesh3.logical(2, 2)  # dp crosses nodes, mp stays inside
+        t = TensorSpec((4096, 4096), "float32")
+        via_dp = reshard_time(ShardingSpec.shard(0, "dp"), REPLICATED, t, lv)
+        via_mp = reshard_time(ShardingSpec.shard(1, "mp"), REPLICATED, t, lv)
+        assert via_dp > via_mp * 5
+
+    def test_size1_axis_normalizes_away(self, lv21):
+        t = TensorSpec((64, 64), "float32")
+        s = ShardingSpec.shard(1, "mp")  # size-1 axis on this view
+        assert reshard_time(s, REPLICATED, t, lv21) == 0.0
+
+    @given(nbytes_pow=st.integers(10, 28))
+    @settings(max_examples=20, deadline=None)
+    def test_cost_monotone_in_tensor_size(self, nbytes_pow, lv22):
+        t1 = TensorSpec((2 ** nbytes_pow,), "float32")
+        t2 = TensorSpec((2 ** (nbytes_pow + 1),), "float32")
+        s = ShardingSpec.shard(0, "dp")
+        assert (reshard_time(s, REPLICATED, t1, lv22)
+                <= reshard_time(s, REPLICATED, t2, lv22))

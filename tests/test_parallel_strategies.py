@@ -1,0 +1,162 @@
+"""Per-op strategy enumeration and the intra-op optimizer."""
+
+import pytest
+
+from repro.cluster import PLATFORM2
+from repro.ir import GraphBuilder, TensorSpec
+from repro.parallel import (
+    REPLICATED,
+    ShardingSpec,
+    node_strategies,
+    optimize_stage,
+)
+from repro.runtime import execute_plan
+
+
+@pytest.fixture(scope="module")
+def lv22():
+    return PLATFORM2.mesh(3).logical(2, 2)
+
+
+@pytest.fixture(scope="module")
+def lv21():
+    return PLATFORM2.mesh(2).logical(2, 1)
+
+
+@pytest.fixture(scope="module")
+def lv12():
+    return PLATFORM2.mesh(2).logical(1, 2)
+
+
+def _matmul_node(lhs_shape, rhs_shape, out_shape, contract):
+    b = GraphBuilder("s")
+    x = b.input("x", lhs_shape)
+    w = b.param("w", rhs_shape)
+    y = b.einsum_contract(x, w, out_shape, contract)
+    return b.graph.nodes[y.id], [b.graph.nodes[0].out, b.graph.nodes[1].out]
+
+
+class TestDotStrategies:
+    def test_replicated_always_present(self, lv22):
+        node, ins = _matmul_node((8, 16), (16, 32), (8, 32), 16)
+        strats = node_strategies(node, ins, lv22)
+        assert any(s.out == REPLICATED and s.factor == 1 for s in strats)
+
+    def test_batch_move_uses_dp(self, lv21):
+        node, ins = _matmul_node((8, 16), (16, 32), (8, 32), 16)
+        strats = node_strategies(node, ins, lv21)
+        batch = [s for s in strats if "batch0@dp" in s.name]
+        assert batch and batch[0].out.axis_of(0) == "dp"
+        assert batch[0].factor == 2
+        assert batch[0].comm_time == 0.0
+
+    def test_no_mp_moves_on_pure_dp_view(self, lv21):
+        node, ins = _matmul_node((8, 16), (16, 32), (8, 32), 16)
+        strats = node_strategies(node, ins, lv21)
+        assert not any("col@" in s.name or "row@" in s.name for s in strats)
+
+    def test_megatron_col_row_on_mp_view(self, lv12):
+        node, ins = _matmul_node((8, 16), (16, 32), (8, 32), 16)
+        names = {s.name for s in node_strategies(node, ins, lv12)}
+        assert any("col@mp" in n for n in names)
+        assert any("row@mp" in n for n in names)
+
+    def test_row_parallel_allreduces(self, lv12):
+        node, ins = _matmul_node((8, 16), (16, 32), (8, 32), 16)
+        row = next(s for s in node_strategies(node, ins, lv12)
+                   if "row@mp" in s.name)
+        assert row.comm_time > 0
+        assert row.out == REPLICATED
+
+    def test_gradient_sync_move(self, lv21):
+        # dW = x^T g: both operands rank 3, contraction over batch
+        node, ins = _matmul_node((8, 64, 16), (8, 64, 32), (16, 32), 8 * 64)
+        strats = node_strategies(node, ins, lv21)
+        gs = [s for s in strats if "gradsync@dp" in s.name]
+        assert gs, "batch-contraction (DP gradient sync) strategy missing"
+        assert gs[0].comm_time > 0  # the gradient all-reduce
+
+    def test_combined_dp_mp_strategy(self, lv22):
+        node, ins = _matmul_node((8, 16), (16, 32), (8, 32), 16)
+        strats = node_strategies(node, ins, lv22)
+        both = [s for s in strats if s.factor == 4]
+        assert both, "no strategy uses both mesh axes"
+
+    def test_batched_attention_einsum(self, lv22):
+        # q @ k^T: (B, h, S, d) x (B, h, S, d) -> (B, h, S, S)
+        node, ins = _matmul_node((4, 8, 64, 16), (4, 8, 64, 16),
+                                 (4, 8, 64, 64), 16)
+        strats = node_strategies(node, ins, lv22)
+        assert any(s.out.axis_of(0) == "dp" for s in strats)  # batch
+        assert any(s.out.axis_of(1) == "mp" for s in strats)  # heads
+
+
+class TestElementwiseStrategies:
+    def test_broadcast_operand_stays_replicated(self, lv21):
+        b = GraphBuilder("s")
+        x = b.input("x", (8, 32))
+        bias = b.param("bias", (32,))
+        y = b.add(x, bias)
+        node = b.graph.nodes[y.id]
+        ins = [b.graph.nodes[i].out for i in node.inputs]
+        strat = next(s for s in node_strategies(node, ins, lv21)
+                     if s.out.axis_of(0) == "dp")
+        assert strat.ins[0].axis_of(0) == "dp"
+        assert strat.ins[1] == REPLICATED
+
+    def test_reduction_maps_surviving_dims(self, lv21):
+        b = GraphBuilder("s")
+        x = b.input("x", (8, 32))
+        y = b.reduce_sum(x, (1,))
+        node = b.graph.nodes[y.id]
+        ins = [b.graph.nodes[i].out for i in node.inputs]
+        strat = next(s for s in node_strategies(node, ins, lv21)
+                     if s.out.axis_of(0) == "dp")
+        assert strat.ins[0].axis_of(0) == "dp"
+
+    def test_transpose_propagates_through_perm(self, lv12):
+        b = GraphBuilder("s")
+        x = b.input("x", (4, 8, 64, 16))
+        y = b.transpose(x, (0, 2, 1, 3))
+        node = b.graph.nodes[y.id]
+        ins = [b.graph.nodes[i].out for i in node.inputs]
+        strats = node_strategies(node, ins, lv12)
+        s = next(s for s in strats if s.out.axis_of(1) == "mp")
+        assert s.ins[0].axis_of(2) == "mp"
+
+
+class TestIntraOpOptimizer:
+    def test_plan_covers_all_nodes(self, tiny_gpt, lv21):
+        from repro.ir import build_training_graph
+
+        tg = build_training_graph(tiny_gpt.stage_graph(1, 2))
+        plan = optimize_stage(tg, lv21)
+        assert len(plan.assignments) == len(tg)
+
+    def test_consistent_leaf_edges_free(self, tiny_gpt, lv21):
+        from repro.ir import build_training_graph
+
+        tg = build_training_graph(tiny_gpt.stage_graph(1, 2))
+        plan = optimize_stage(tg, lv21)
+        prof = execute_plan(plan, noise=False)
+        assert prof.latency > 0
+
+    def test_parallel_beats_replicated_on_fast_mesh(self, tiny_gpt, mesh2, mesh1):
+        from repro.runtime import StageProfiler
+
+        prof = StageProfiler(tiny_gpt, aggressive_fusion=True)
+        single = prof.profile_stage(1, 3, mesh1, 1, 1)
+        dp2 = prof.profile_stage(1, 3, mesh2, 2, 1)
+        assert dp2.latency < single.latency
+
+    def test_dp_differs_from_mp(self, tiny_gpt, mesh2):
+        from repro.runtime import StageProfiler
+
+        prof = StageProfiler(tiny_gpt, aggressive_fusion=True)
+        dp = prof.profile_stage(1, 3, mesh2, 2, 1)
+        mp = prof.profile_stage(1, 3, mesh2, 1, 2)
+        assert dp.latency != mp.latency
+
+    def test_estimated_time_positive(self, toy_graph, lv21):
+        plan = optimize_stage(toy_graph, lv21)
+        assert plan.estimated_time > 0

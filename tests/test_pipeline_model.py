@@ -1,0 +1,109 @@
+"""White-box pipeline model (Eqn 4) vs the discrete-event 1F1B simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NVLINK, TEN_GBE
+from repro.runtime import PipelineSimulator, simulated_latency, whitebox_latency
+
+
+class TestWhitebox:
+    def test_single_stage_single_microbatch(self):
+        assert whitebox_latency([2.0], 1) == 2.0
+
+    def test_eqn4_formula(self):
+        # T = sum + (B-1) * max
+        t = whitebox_latency([1.0, 3.0, 2.0], 4)
+        assert t == pytest.approx((1 + 3 + 2) + 3 * 3.0)
+
+    def test_empty(self):
+        assert whitebox_latency([], 4) == 0.0
+
+    def test_invalid_microbatches(self):
+        with pytest.raises(ValueError):
+            whitebox_latency([1.0], 0)
+
+    def test_bottleneck_dominates_large_B(self):
+        t = whitebox_latency([1.0, 5.0], 1000)
+        assert t == pytest.approx(999 * 5.0 + 6.0)
+
+
+class TestSimulator:
+    def test_single_stage_serializes_microbatches(self):
+        sim = simulated_latency([2.0], 3)
+        assert sim == pytest.approx(6.0)
+
+    @given(stages=st.lists(st.floats(0.05, 2.0), min_size=1, max_size=6),
+           B=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_combined_mode_equals_eqn4_exactly(self, stages, B):
+        """Flow-shop identity: the simulated makespan with indivisible
+        (stage, microbatch) passes IS Eqn 4 when transfers are free."""
+        wb = whitebox_latency(stages, B)
+        sim = simulated_latency(stages, B)
+        assert sim == pytest.approx(wb, rel=1e-9)
+
+    @given(stages=st.lists(st.floats(0.05, 2.0), min_size=1, max_size=6),
+           B=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_split_backward_within_work_envelope(self, stages, B):
+        """1F1B fwd/bwd interleaving stays between the bottleneck's busy
+        time and the fully serialized schedule."""
+        sim = simulated_latency(stages, B, split_backward=True)
+        assert sim >= B * max(stages) - 1e-9  # bottleneck must do all its work
+        assert sim <= B * sum(stages) + 1e-9  # never worse than full serial
+
+    def test_split_backward_can_beat_eqn4(self):
+        """Interleaving fwd/bwd lets the pipeline fill Eqn 4's drain bubble."""
+        stages = [2.0, 1.0]
+        wb = whitebox_latency(stages, 2)
+        sim = simulated_latency(stages, 2, split_backward=True)
+        assert sim < wb
+
+    def test_transfer_time_increases_makespan(self):
+        stages = [1.0, 1.0]
+        free = simulated_latency(stages, 4)
+        slow = simulated_latency(stages, 4, transfer_bytes=1e9, link=TEN_GBE)
+        assert slow > free
+
+    def test_nvlink_transfer_negligible(self):
+        """§V's justification for ignoring inter-stage communication."""
+        stages = [0.5, 0.5, 0.5]
+        free = simulated_latency(stages, 8)
+        nv = simulated_latency(stages, 8, transfer_bytes=32e6, link=NVLINK)
+        assert (nv - free) / free < 0.02
+
+    def test_all_events_recorded(self):
+        assert len(PipelineSimulator([1.0, 1.0], 3).run().events) == 2 * 3
+        assert len(PipelineSimulator([1.0, 1.0], 3,
+                                     split_backward=True).run().events) == 2 * 3 * 2
+
+    def test_events_respect_dependencies(self):
+        sched = PipelineSimulator([1.0, 2.0, 1.5], 4).run()
+        end = {(e.stage, e.microbatch): e.time for e in sched.events}
+        for (s, m), t in end.items():
+            if s > 0:
+                assert end[(s - 1, m)] <= t + 1e-12
+
+    def test_utilization_of_bottleneck_higher(self):
+        stages = [1.0, 3.0]
+        sched = PipelineSimulator(stages, 8).run()
+        u0 = sched.stage_utilization(0, stages[0] / 8)
+        u1 = sched.stage_utilization(1, stages[1] / 8)
+        assert u1 > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator([], 4)
+        with pytest.raises(ValueError):
+            PipelineSimulator([1.0], 0)
+
+
+class TestGrayBoxComposition:
+    def test_whitebox_over_profiled_stages(self, tiny_gpt_profiler, mesh2):
+        t1 = tiny_gpt_profiler.profile_stage(0, 2, mesh2, 2, 1).latency
+        t2 = tiny_gpt_profiler.profile_stage(2, 4, mesh2, 2, 1).latency
+        T = whitebox_latency([t1, t2], 8)
+        assert T > 7 * max(t1, t2)

@@ -1,0 +1,100 @@
+"""Predictor persistence and the analytical baseline."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    AnalyticalPredictor,
+    LatencyPredictor,
+    TrainConfig,
+    analytical_estimate,
+    load_predictor,
+    save_predictor,
+    split_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_corpus):
+    sp = split_dataset(tiny_corpus, 0.6, 0.15, seed=0)
+    lp = LatencyPredictor("gcn", seed=0)
+    lp.fit(sp.train, sp.val, TrainConfig(epochs=8, patience=8, batch_size=8))
+    return lp, sp
+
+
+class TestSerialize:
+    def test_roundtrip_predictions_identical(self, fitted, tmp_path):
+        lp, sp = fitted
+        path = tmp_path / "pred.npz"
+        save_predictor(lp, path)
+        lp2 = load_predictor(path)
+        assert lp2.kind == lp.kind
+        a = lp.predict_samples(sp.test)
+        b = lp2.predict_samples(sp.test)
+        assert np.allclose(a, b, rtol=1e-6)
+
+    def test_normalizer_restored(self, fitted, tmp_path):
+        lp, _ = fitted
+        path = tmp_path / "pred.npz"
+        save_predictor(lp, path)
+        lp2 = load_predictor(path)
+        assert lp2.normalizer.target_transform == lp.normalizer.target_transform
+        assert lp2.normalizer.target_scale == pytest.approx(
+            lp.normalizer.target_scale)
+        assert np.allclose(lp2.normalizer.feat_mean, lp.normalizer.feat_mean)
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_predictor(LatencyPredictor("gcn"), tmp_path / "x.npz")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_predictor(p)
+
+    def test_transformer_roundtrip(self, tiny_corpus, tmp_path):
+        sp = split_dataset(tiny_corpus, 0.6, 0.15, seed=0)
+        lp = LatencyPredictor("dag_transformer", seed=0)
+        lp.fit(sp.train, sp.val,
+               TrainConfig(epochs=3, patience=3, batch_size=8))
+        save_predictor(lp, tmp_path / "t.npz")
+        lp2 = load_predictor(tmp_path / "t.npz")
+        assert np.allclose(lp.predict_samples(sp.test),
+                           lp2.predict_samples(sp.test), rtol=1e-6)
+
+
+class TestAnalyticalBaseline:
+    def test_estimate_positive_and_monotone(self, tiny_gpt_profiler):
+        from repro.cluster import RTX_A5500
+
+        g1 = tiny_gpt_profiler.predictor_graph(1, 2)
+        g2 = tiny_gpt_profiler.predictor_graph(1, 3)
+        e1 = analytical_estimate(g1, RTX_A5500)
+        e2 = analytical_estimate(g2, RTX_A5500)
+        assert 0 < e1 < e2
+
+    def test_calibration_improves_fit(self, tiny_corpus):
+        sp = split_dataset(tiny_corpus, 0.6, 0.15, seed=0)
+        ap = AnalyticalPredictor()
+        ap.fit(sp.train, sp.val)
+        assert ap.fitted
+        assert ap.evaluate_mre(sp.test) < 200.0
+
+    def test_requires_fit(self, tiny_corpus):
+        with pytest.raises(RuntimeError):
+            AnalyticalPredictor().predict_samples(tiny_corpus[:1])
+
+    def test_scale_least_squares(self, tiny_corpus):
+        """Doubling the targets doubles the calibrated scale."""
+        from dataclasses import replace
+        from repro.predictors import StageSample
+
+        sp = split_dataset(tiny_corpus, 0.6, 0.15, seed=0)
+        ap1 = AnalyticalPredictor()
+        ap1.fit(sp.train, sp.val)
+        doubled = [StageSample(s.graph, 2 * s.latency) for s in sp.train]
+        doubled_val = [StageSample(s.graph, 2 * s.latency) for s in sp.val]
+        ap2 = AnalyticalPredictor()
+        ap2.fit(doubled, doubled_val)
+        assert ap2.scale == pytest.approx(2 * ap1.scale, rel=1e-6)
