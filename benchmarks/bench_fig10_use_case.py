@@ -13,7 +13,7 @@ Results are cached under ``usecase/<profile>/<family>`` (also fillable via
 """
 
 from repro.core.search import APPROACHES
-from repro.experiments import run_use_case
+from repro.experiments import n_jobs, run_use_case
 from repro.experiments.cache import global_cache
 from repro.experiments.export import export_use_case
 
@@ -29,7 +29,7 @@ def _load_or_run(profile, family):
     hit = cache.get(key)
     if hit and set(hit) >= set(APPROACHES):
         return hit
-    result = run_use_case(family, profile)
+    result = run_use_case(family, profile, jobs=n_jobs())
     data = {a: {"cost": r.optimization_cost,
                 "latency": r.true_iteration_latency,
                 "stages": r.plan.n_stages,

@@ -3,9 +3,12 @@
 Scenarios: Mesh 1 Conf 1, Mesh 2 Conf 1 (2-way DP), Mesh 2 Conf 2 (2-way
 MP); rows are train-sample fractions, columns GCN/GAT/DAG-Transformer,
 for both benchmarks.
+
+Cells run through the parallel experiment engine; set ``REPRO_JOBS`` to
+fan them across worker processes (results are identical to a serial run).
 """
 
-from repro.experiments import mre_grid, render_mre_table
+from repro.experiments import mre_grid, n_jobs, render_mre_table
 from repro.experiments.export import export_mre_grid
 
 from pathlib import Path
@@ -15,7 +18,8 @@ RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
 
 def _run(benchmark, profile, save_result, family):
     grid = benchmark.pedantic(
-        lambda: mre_grid("platform1", family, profile), rounds=1, iterations=1)
+        lambda: mre_grid("platform1", family, profile, jobs=n_jobs()),
+        rounds=1, iterations=1)
     save_result(f"table5_{family}",
                 render_mre_table(grid, "platform1", family, profile.fractions))
     export_mre_grid(grid, RESULTS_DIR / profile.name / f"table5_{family}.csv")

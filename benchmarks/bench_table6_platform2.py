@@ -2,9 +2,12 @@
 
 Six scenarios: meshes 1–3 with the Table-III configurations (up to 4-way
 DP, 2-way DP × 2-way MP, and 4-way MP across nodes).
+
+Cells run through the parallel experiment engine; set ``REPRO_JOBS`` to
+fan them across worker processes (results are identical to a serial run).
 """
 
-from repro.experiments import mre_grid, render_mre_table
+from repro.experiments import mre_grid, n_jobs, render_mre_table
 from repro.experiments.export import export_mre_grid
 
 from pathlib import Path
@@ -14,7 +17,8 @@ RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
 
 def _run(benchmark, profile, save_result, family):
     grid = benchmark.pedantic(
-        lambda: mre_grid("platform2", family, profile), rounds=1, iterations=1)
+        lambda: mre_grid("platform2", family, profile, jobs=n_jobs()),
+        rounds=1, iterations=1)
     save_result(f"table6_{family}",
                 render_mre_table(grid, "platform2", family, profile.fractions))
     export_mre_grid(grid, RESULTS_DIR / profile.name / f"table6_{family}.csv")

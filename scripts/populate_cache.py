@@ -55,7 +55,7 @@ def fill_usecase(family: str) -> None:
 
 def status() -> None:
     cache = global_cache()
-    keys = sorted(cache._data)
+    keys = cache.keys()
     print(f"{len(keys)} cached entries")
     for k in keys:
         print(" ", k)

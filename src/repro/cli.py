@@ -6,7 +6,9 @@ Commands:
 * ``profile``  — simulate one stage on one runtime configuration;
 * ``predict``  — train a predictor on sampled stages and predict them all
   (optionally persisting the trained predictor);
-* ``search``   — run the plan-search use case with a chosen approach.
+* ``search``   — run the plan-search use case with a chosen approach;
+* ``bench``    — regenerate Table V/VI or Fig-10 artifacts through the
+  parallel experiment engine (``--jobs`` / ``REPRO_JOBS`` workers).
 """
 
 from __future__ import annotations
@@ -146,6 +148,49 @@ def cmd_search(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .experiments import run_use_case
+    from .experiments.engine import n_jobs, run_grid
+    from .experiments.export import export_mre_grid, export_use_case
+    from .experiments.profiles import PROFILES, active_profile
+    from .experiments.reporting import render_mre_table, render_use_case
+    from .predictors.base import PREDICTOR_KINDS
+
+    profile = PROFILES[args.profile] if args.profile else active_profile()
+    jobs = args.jobs if args.jobs else n_jobs()
+    families = ("gpt", "moe") if args.family == "both" else (args.family,)
+    out_dir = Path(args.output or
+                   Path(__file__).resolve().parents[2] / "results") / profile.name
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tables = {"table5": "platform1", "table6": "platform2"}
+    targets = tables if args.target == "tables" else {args.target: tables.get(args.target)}
+
+    for target, platform in targets.items():
+        for family in families:
+            if target == "usecase":
+                result = run_use_case(family, profile, jobs=jobs)
+                text = render_use_case(result)
+                data = {a: {"cost": r.optimization_cost,
+                            "latency": r.true_iteration_latency,
+                            "stages": r.plan.n_stages}
+                        for a, r in result.results.items()}
+                stem = f"fig10_{family}"
+                export_use_case(data, out_dir / f"{stem}.csv")
+            else:
+                grid = run_grid(platform, family, profile, PREDICTOR_KINDS,
+                                profile.fractions, jobs=jobs)
+                text = render_mre_table(grid, platform, family,
+                                        profile.fractions)
+                stem = f"{target}_{family}"
+                export_mre_grid(grid, out_dir / f"{stem}.csv")
+            (out_dir / f"{stem}.txt").write_text(text + "\n")
+            print(f"{text}\n[{stem}: profile={profile.name} "
+                  f"jobs={jobs}, saved under {out_dir}]\n")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PredTOP reproduction CLI")
@@ -182,13 +227,28 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--microbatches", type=int, default=8)
     p.add_argument("--sample-fraction", type=float, default=0.5)
     p.add_argument("--epochs", type=int, default=40)
+
+    p = sub.add_parser(
+        "bench", help="regenerate experiment grids via the parallel engine")
+    p.add_argument("target",
+                   choices=("table5", "table6", "tables", "usecase"),
+                   help="which artifact to (re)compute")
+    p.add_argument("--family", choices=("gpt", "moe", "both"), default="both")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="engine workers (0 = REPRO_JOBS / cpu count)")
+    p.add_argument("--profile", choices=("smoke", "fast", "paper"),
+                   default="", help="experiment profile (default: "
+                   "REPRO_PROFILE or fast)")
+    p.add_argument("--output", default="",
+                   help="results directory (default: <repo>/results)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     return {"info": cmd_info, "profile": cmd_profile,
-            "predict": cmd_predict, "search": cmd_search}[args.command](args)
+            "predict": cmd_predict, "search": cmd_search,
+            "bench": cmd_bench}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -96,12 +96,18 @@ class PredTOP:
         views and the *optimal* latency is kept (what Alpa's intra-op
         compiler would emit, §III).
         """
+        from ..experiments.engine import parallel_map
+
         slices = stratified_sample(self.clustering.all_slices(),
                                    self.config.sample_fraction,
                                    self.config.seed)
-        self._profiled = []
-        for (s, e) in slices:
-            self._profiled.append(self._measure(s, e, dp, mp))
+        # independent measurements fan out across the engine's workers
+        # (serial when REPRO_JOBS=1); priming the profiler's memo keeps
+        # later in-process lookups of the same stages free
+        self._profiled = parallel_map(
+            lambda se: self._measure(se[0], se[1], dp, mp), slices)
+        for p in self._profiled:
+            self.profiler.prime(p)
         self.costs.profiling_seconds += sum(p.profiling_cost
                                             for p in self._profiled)
         return self._profiled

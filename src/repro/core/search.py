@@ -71,6 +71,7 @@ class PlanSearcher:
         balance_tolerance: float = 0.34,
         enforce_memory: bool = True,
         seed: int = 0,
+        jobs: int | None = None,
     ) -> None:
         self.model = model
         self.clustering = clustering
@@ -85,10 +86,15 @@ class PlanSearcher:
         #: state + activations exceed GPU memory (Alpa does the same)
         self.enforce_memory = enforce_memory
         self.seed = seed
+        #: engine worker count for the profiling sweeps (None = REPRO_JOBS)
+        self.jobs = jobs
         self._slices = clustering.all_slices()
         self._unit_slices = [
             (i, j) for i in range(clustering.n_units)
             for j in range(i + 1, clustering.n_units + 1)]
+        #: (layer slice, submesh key) -> (latency, profiling cost); fills
+        #: from the parallel sweeps so plan scoring never re-profiles
+        self._measured: dict[tuple[tuple[int, int], str], tuple[float, float]] = {}
 
     # ------------------------------------------------------------- plumbing
     def _measure(self, layer_slice: tuple[int, int],
@@ -96,6 +102,10 @@ class PlanSearcher:
         """(optimal latency, profiling cost) for one slice on one submesh."""
         from ..cluster.mesh import logical_views
 
+        memo_key = (layer_slice, submesh.key())
+        hit = self._measured.get(memo_key)
+        if hit is not None:
+            return hit
         best_lat, best_cost = INFEASIBLE, 0.0
         for lv in logical_views(submesh):
             p = self.profiler.profile_stage(layer_slice[0], layer_slice[1],
@@ -105,7 +115,26 @@ class PlanSearcher:
                 continue
             if p.latency < best_lat:
                 best_lat, best_cost = p.latency, p.profiling_cost
+        self._measured[memo_key] = (best_lat, best_cost)
         return best_lat, best_cost
+
+    def _measure_many(
+        self, pairs: list[tuple[tuple[int, int], DeviceMesh]],
+    ) -> list[tuple[float, float]]:
+        """Measure (slice, submesh) pairs through the engine's pool.
+
+        Results land in ``self._measured`` in submission order, so the
+        parallel sweep is interchangeable with the serial loop; workers
+        inherit the profiler via fork and return plain floats.
+        """
+        from ..experiments.engine import parallel_map
+
+        todo = [p for p in pairs
+                if (p[0], p[1].key()) not in self._measured]
+        results = parallel_map(lambda p: self._measure(*p), todo, self.jobs)
+        for (layer_slice, submesh), r in zip(todo, results):
+            self._measured[(layer_slice, submesh.key())] = r
+        return [self._measured[(ls, sm.key())] for (ls, sm) in pairs]
 
     def _balanced(self, unit_slice: tuple[int, int],
                   submesh: DeviceMesh) -> bool:
@@ -118,10 +147,8 @@ class PlanSearcher:
         """Ground-truth iteration latency of a plan (1F1B simulation)."""
         if not plan.feasible:
             return float("inf")
-        true_times = []
-        for st in plan.stages:
-            lat, _ = self._measure(st.layer_range, st.submesh)
-            true_times.append(lat)
+        true_times = [lat for (lat, _) in self._measure_many(
+            [(st.layer_range, st.submesh) for st in plan.stages])]
         sim = PipelineSimulator(
             true_times, self.n_microbatches,
             transfer_bytes=self.model.activation_bytes(),
@@ -135,53 +162,64 @@ class PlanSearcher:
 
     # ------------------------------------------------------------ approaches
     def search_full(self) -> SearchResult:
-        table = LatencyTable()
-        cost = 0.0
-        for (ui, uj) in self._unit_slices:
-            ls = self.clustering.slice_range(ui, uj)
-            for mi, sm in enumerate(self.submeshes):
-                lat, c = self._measure(ls, sm)
-                table.set(ui, uj, mi, lat)
-                cost += c
-        plan = self._run_dp(table)
-        return SearchResult("full", plan, cost,
-                            {"profiling": cost},
-                            self._score_plan(plan), len(table.values))
+        work = [((ui, uj), mi) for (ui, uj) in self._unit_slices
+                for mi in range(len(self.submeshes))]
+        return self._profiled_search("full", work)
 
     def search_partial(self) -> SearchResult:
+        work = [((ui, uj), mi) for (ui, uj) in self._unit_slices
+                for mi in range(len(self.submeshes))
+                if self._balanced((ui, uj), self.submeshes[mi])]
+        return self._profiled_search("partial", work)
+
+    def _profiled_search(self, approach: str,
+                         work: list[tuple[tuple[int, int], int]]) -> SearchResult:
+        """Profile every (slice, submesh) work item, then run the DP."""
         table = LatencyTable()
+        pairs = [(self.clustering.slice_range(ui, uj), self.submeshes[mi])
+                 for ((ui, uj), mi) in work]
+        measured = self._measure_many(pairs)
         cost = 0.0
-        for (ui, uj) in self._unit_slices:
-            ls = self.clustering.slice_range(ui, uj)
-            for mi, sm in enumerate(self.submeshes):
-                if not self._balanced((ui, uj), sm):
-                    continue
-                lat, c = self._measure(ls, sm)
-                table.set(ui, uj, mi, lat)
-                cost += c
+        for ((ui, uj), mi), (lat, c) in zip(work, measured):
+            table.set(ui, uj, mi, lat)
+            cost += c
         plan = self._run_dp(table)
-        return SearchResult("partial", plan, cost,
+        return SearchResult(approach, plan, cost,
                             {"profiling": cost},
                             self._score_plan(plan), len(table.values))
 
     def search_predtop(self, kind: str = "dag_transformer") -> SearchResult:
         """PredTOP: sample + profile, train per submesh, predict the rest."""
+        from ..experiments.engine import parallel_map
+
         table = LatencyTable()
-        prof_cost = 0.0
-        train_cost = 0.0
-        infer_cost = 0.0
         sampled = stratified_sample(self._unit_slices, self.sample_fraction,
                                     self.seed)
         sampled_set = set(sampled)
+        rest = [us for us in self._unit_slices if us not in sampled_set]
+
+        # profile the sampled (slice, submesh) grid — fanned across workers
+        pairs = [(self.clustering.slice_range(ui, uj), sm)
+                 for sm in self.submeshes for (ui, uj) in sampled]
+        measured = self._measure_many(pairs)
+        prof_cost = sum(c for (_, c) in measured)
+        it = iter(measured)
+        per_submesh: list[list[StageSample]] = []
         for mi, sm in enumerate(self.submeshes):
             samples: list[StageSample] = []
             for (ui, uj) in sampled:
                 ls = self.clustering.slice_range(ui, uj)
-                lat, c = self._measure(ls, sm)
-                prof_cost += c
+                lat, _ = next(it)
                 table.set(ui, uj, mi, lat)  # measured entries are exact
                 g = self.profiler.predictor_graph(*ls)
                 samples.append(StageSample(g, lat, f"{ls}@{sm.key()}"))
+            per_submesh.append(samples)
+
+        rest_graphs = [self.profiler.predictor_graph(
+            *self.clustering.slice_range(ui, uj)) for (ui, uj) in rest]
+
+        def fit_and_predict(samples: list[StageSample]):
+            """Train one per-submesh predictor, predict the unprofiled rest."""
             predictor = LatencyPredictor(kind, seed=self.seed)
             rng = np.random.default_rng(self.seed)
             order = rng.permutation(len(samples))
@@ -189,17 +227,19 @@ class PlanSearcher:
             val = [samples[i] for i in order[:n_val]]
             train = [samples[i] for i in order[n_val:]]
             result = predictor.fit(train, val, self.train_config)
-            train_cost += result.wall_seconds
-
             t0 = time.perf_counter()
-            rest = [us for us in self._unit_slices if us not in sampled_set]
-            graphs = [self.profiler.predictor_graph(
-                *self.clustering.slice_range(ui, uj)) for (ui, uj) in rest]
-            if graphs:
-                preds = predictor.predict_graphs(graphs)
-                for (ui, uj), lat in zip(rest, preds):
-                    table.set(ui, uj, mi, max(float(lat), 1e-6))
-            infer_cost += time.perf_counter() - t0
+            preds = (predictor.predict_graphs(rest_graphs)
+                     if rest_graphs else np.empty(0))
+            return ([max(float(p), 1e-6) for p in preds],
+                    result.wall_seconds, time.perf_counter() - t0)
+
+        # one independent training per submesh — also engine-parallel
+        trained = parallel_map(fit_and_predict, per_submesh, self.jobs)
+        train_cost = sum(t for (_, t, _) in trained)
+        infer_cost = sum(t for (_, _, t) in trained)
+        for mi, (preds, _, _) in enumerate(trained):
+            for (ui, uj), lat in zip(rest, preds):
+                table.set(ui, uj, mi, lat)
 
         plan = self._run_dp(table)
         total = prof_cost + train_cost + infer_cost

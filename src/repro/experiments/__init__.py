@@ -2,6 +2,7 @@
 
 from .cache import ResultsCache, global_cache
 from .corpus import BenchmarkSetup, benchmark_setup, corpus_summary, stage_corpus
+from .engine import n_jobs, parallel_map, run_grid
 from .figures import UseCaseResult, random_plan_latencies, run_use_case
 from .profiles import FAST, PAPER, PROFILES, SMOKE, ExperimentProfile, active_profile
 from .reporting import render_mre_table, render_stats, render_use_case
@@ -22,4 +23,5 @@ __all__ = [
     "random_plan_latencies", "run_use_case", "UseCaseResult",
     "render_mre_table", "render_stats", "render_use_case",
     "ResultsCache", "global_cache",
+    "n_jobs", "parallel_map", "run_grid",
 ]

@@ -1,55 +1,167 @@
 """On-disk results cache for the benchmark harness.
 
 Predictor training dominates experiment wall time, so every (profile,
-experiment, cell) result is memoized in a JSON file.  Figures 8/9 are pure
+experiment, cell) result is memoized on disk.  Figures 8/9 are pure
 aggregations of the Table V/VI grids and read the same cache, so running
 the table benches once makes the figure benches free.
 
+The store is *sharded and concurrency-safe* so the parallel experiment
+engine (``repro.experiments.engine``) can hammer it from many worker
+processes:
+
+* each key lives in one of 256 shard files ``shards/<hh>.json`` under the
+  cache root, chosen by the first hex byte of the key's SHA-256;
+* writers take an ``fcntl`` advisory lock on the shard's ``.lock`` file,
+  re-read the shard, merge their entry, and publish via atomic
+  tmp-file + ``os.replace`` — concurrent writers to one shard serialize,
+  writers to different shards don't contend at all, and readers (which
+  never lock) only ever see complete files;
+* a legacy single-file ``results.json`` store, if present at the cache
+  root, is read through transparently; new writes always go to shards,
+  so old caches migrate lazily and stay readable.
+
 Set ``REPRO_CACHE=off`` to disable, or point ``REPRO_CACHE`` at an
-alternate path.
+alternate cache directory (or at a legacy ``*.json`` store, whose parent
+directory then becomes the root).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
-_DEFAULT = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
+try:  # POSIX only; on other platforms writes fall back to atomic rename
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+_DEFAULT_ROOT = Path(__file__).resolve().parents[3] / ".repro_cache"
+_LEGACY_NAME = "results.json"
+N_SHARDS = 256
+
+
+def _shard_of(key: str) -> str:
+    return hashlib.sha256(key.encode()).hexdigest()[:2]
+
+
+@contextmanager
+def _locked(lock_path: Path) -> Iterator[None]:
+    """Advisory exclusive lock held for the duration of the block."""
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    with lock_path.open("a") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def _read_json(path: Path) -> dict[str, Any]:
+    try:
+        return json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return {}
+
+
+def _write_atomic(path: Path, data: dict[str, Any]) -> None:
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(data, indent=1, sort_keys=True))
+    tmp.replace(path)
 
 
 class ResultsCache:
-    """A flat string-keyed JSON store with atomic-ish writes."""
+    """A flat string-keyed JSON store, sharded for concurrent writers."""
 
     def __init__(self, path: str | os.PathLike | None = None) -> None:
-        env = os.environ.get("REPRO_CACHE", "")
-        if env.lower() == "off":
-            self.path: Path | None = None
-            self._data: dict[str, Any] = {}
-            return
-        self.path = Path(env) if env else _DEFAULT
-        self._data = {}
-        if self.path.exists():
-            try:
-                self._data = json.loads(self.path.read_text())
-            except (json.JSONDecodeError, OSError):
-                self._data = {}
+        if path is None:
+            env = os.environ.get("REPRO_CACHE", "")
+            if env.lower() == "off":
+                self.root: Path | None = None
+                self._memory: dict[str, Any] = {}
+                self._legacy: dict[str, Any] = {}
+                return
+            path = Path(env) if env else _DEFAULT_ROOT
+        path = Path(path)
+        # a *.json path selects legacy-store compatibility mode: the file
+        # is the read-through tier and its directory holds the shards
+        if path.suffix == ".json":
+            self.root = path.parent
+            legacy_path = path
+        else:
+            self.root = path
+            legacy_path = path / _LEGACY_NAME
+        self._memory = {}
+        self._legacy = _read_json(legacy_path)
 
+    # ----------------------------------------------------------------- paths
+    @property
+    def shards_dir(self) -> Path:
+        assert self.root is not None
+        return self.root / "shards"
+
+    def _shard_path(self, key: str) -> Path:
+        return self.shards_dir / f"{_shard_of(key)}.json"
+
+    # ------------------------------------------------------------------- API
     def get(self, key: str) -> Any | None:
-        return self._data.get(key)
+        if key in self._memory:
+            return self._memory[key]
+        if self.root is not None:
+            shard = _read_json(self._shard_path(key))
+            if key in shard:
+                self._memory[key] = shard[key]
+                return shard[key]
+        if key in self._legacy:
+            return self._legacy[key]
+        return None
 
     def set(self, key: str, value: Any) -> None:
-        self._data[key] = value
-        if self.path is None:
+        self._memory[key] = value
+        if self.root is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._data, indent=1, sort_keys=True))
-        tmp.replace(self.path)
+        path = self._shard_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with _locked(path.with_suffix(".lock")):
+            shard = _read_json(path)
+            shard[key] = value
+            _write_atomic(path, shard)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        return self.get(key) is not None
+
+    def keys(self) -> list[str]:
+        """All keys visible to this process (memory ∪ shards ∪ legacy)."""
+        out = set(self._memory) | set(self._legacy)
+        if self.root is not None and self.shards_dir.is_dir():
+            for shard_file in sorted(self.shards_dir.glob("*.json")):
+                out.update(_read_json(shard_file))
+        return sorted(out)
+
+    def migrate_legacy(self) -> int:
+        """Copy every legacy entry into its shard; returns the count.
+
+        The legacy file itself is left untouched so older checkouts can
+        still read it.
+        """
+        n = 0
+        for key, value in self._legacy.items():
+            if self.root is not None and key not in _read_json(self._shard_path(key)):
+                self.set(key, value)
+                n += 1
+        return n
+
+    # ------------------------------------------------------- compat property
+    @property
+    def path(self) -> Path | None:
+        """Cache root (``None`` when disabled); kept for callers that only
+        check enabled-ness."""
+        return self.root
 
 
 _GLOBAL: ResultsCache | None = None

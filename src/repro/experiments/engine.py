@@ -1,0 +1,164 @@
+"""Parallel experiment engine: fan the evaluation grid across processes.
+
+The Table V/VI grids — (scenario × fraction × predictor) cells, each one
+an independent numpy predictor-training run — dominate benchmark wall
+time and are embarrassingly parallel, the same structure Alpa exploits
+when it profiles stages across the device grid.  This module provides:
+
+* :func:`n_jobs` — the worker count, from ``REPRO_JOBS`` (default
+  ``os.cpu_count()``); ``REPRO_JOBS=1`` preserves the serial path
+  exactly;
+* :func:`parallel_map` — ordered map over a fork-based process pool,
+  falling back to a plain loop when one worker (or one item) makes a
+  pool pointless;
+* :func:`run_grid` — the Table V/VI cell grid through the pool.
+
+Determinism: every cell derives its seed from the experiment profile
+alone (never from worker identity or completion order), each worker
+process computes cells independently, and ``parallel_map`` returns
+results in submission order — so a parallel run is bit-identical to the
+serial one for everything except wall-clock bookkeeping.  Workers share
+results through the sharded on-disk cache
+(:mod:`repro.experiments.cache`), which tolerates concurrent writers.
+
+Nested parallelism is suppressed: code running inside an engine worker
+sees ``n_jobs() == 1``, so a parallel grid never forks a second tier of
+pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from .profiles import ExperimentProfile
+from .scenarios import Scenario, scenario_grid
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: set in pool workers so nested calls degrade to the serial path
+_IN_WORKER = False
+
+#: the mapped callable, installed in the parent immediately before the
+#: fork so children inherit it by memory copy rather than by pickling
+#: (lets parallel_map accept closures and bound methods)
+_WORKER_FN: Callable[[Any], Any] | None = None
+
+
+def n_jobs(default: int | None = None) -> int:
+    """Worker count from ``REPRO_JOBS`` (default ``os.cpu_count()``)."""
+    if _IN_WORKER:
+        return 1
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS={env!r} is not an integer") from None
+    if default is not None:
+        return max(1, default)
+    return os.cpu_count() or 1
+
+
+def _init_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _invoke(item: Any) -> Any:
+    assert _WORKER_FN is not None
+    return _WORKER_FN(item)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]`` over a process pool, order preserved.
+
+    Serial (and pool-free) when ``jobs`` resolves to 1, when there are
+    fewer than two items, or when the platform cannot fork.  Items and
+    results cross the process boundary by pickling; ``fn`` itself does
+    not — it is inherited through the fork — so closures over live
+    objects (profilers, searchers) are fine.
+    """
+    global _WORKER_FN
+    items = list(items)
+    jobs = n_jobs() if jobs is None else max(1, jobs)
+    jobs = min(jobs, len(items))
+    if jobs <= 1 or len(items) < 2:
+        return [fn(x) for x in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return [fn(x) for x in items]
+    prev = _WORKER_FN
+    _WORKER_FN = fn
+    try:
+        with ctx.Pool(jobs, initializer=_init_worker) as pool:
+            return pool.map(_invoke, items)
+    finally:
+        _WORKER_FN = prev
+
+
+# --------------------------------------------------------------- grid engine
+def grid_cells(
+    platform_name: str,
+    kinds: Sequence[str],
+    fractions: Sequence[float],
+) -> list[tuple[Scenario, float, str]]:
+    """The (scenario, fraction, kind) cell list in canonical table order."""
+    return [(scenario, float(fraction), kind)
+            for scenario in scenario_grid(platform_name)
+            for fraction in fractions
+            for kind in kinds]
+
+
+def _run_one_cell(task: tuple) -> tuple:
+    """Pool worker: one grid cell → its scalar results (picklable)."""
+    from .tables import run_cell
+
+    family, scenario, fraction, kind, profile = task
+    cell = run_cell(family, scenario, fraction, kind, profile)
+    return (cell.scenario_key, cell.fraction, cell.kind, cell.mre,
+            cell.epochs_run, cell.train_seconds)
+
+
+def run_grid(
+    platform_name: str,
+    family: str,
+    profile: ExperimentProfile,
+    kinds: Sequence[str],
+    fractions: Sequence[float],
+    jobs: int | None = None,
+) -> dict[tuple[str, float, str], float]:
+    """One full Table V/VI half: ``{(scenario, fraction, kind): MRE%}``.
+
+    With ``jobs == 1`` this is exactly the legacy serial loop; with more
+    workers the cells fan out across processes and land in the shared
+    sharded cache, so a subsequent serial pass (or figure aggregation)
+    sees the identical numbers.
+    """
+    import numpy as np
+
+    cells = grid_cells(platform_name, kinds, fractions)
+    tasks = [(family, scenario, fraction, kind, profile)
+             for (scenario, fraction, kind) in cells]
+    jobs = n_jobs() if jobs is None else max(1, jobs)
+    if jobs > 1:
+        # profile the stage corpora once in the parent (cheap relative to
+        # training) so every forked worker inherits them copy-on-write
+        # instead of redundantly re-profiling per process
+        from .corpus import stage_corpus
+
+        for scenario in {scenario for (scenario, _, _) in cells}:
+            stage_corpus(family, scenario, profile)
+    results = parallel_map(_run_one_cell, tasks, jobs)
+    out: dict[tuple[str, float, str], float] = {}
+    for (scenario_key, fraction, kind, mre, _epochs, _secs) in results:
+        if not np.isnan(mre):
+            out[(scenario_key, fraction, kind)] = mre
+    return out

@@ -118,8 +118,13 @@ def run_use_case(
     profile: ExperimentProfile,
     platform_name: str = "platform2",
     approaches: tuple[str, ...] | None = None,
+    jobs: int | None = None,
 ) -> UseCaseResult:
-    """Run the Fig-10 plan-search comparison for one benchmark."""
+    """Run the Fig-10 plan-search comparison for one benchmark.
+
+    ``jobs`` is the experiment-engine worker count for the searcher's
+    profiling sweeps and per-submesh trainings (None = ``REPRO_JOBS``).
+    """
     from ..cluster.platforms import get_platform
     from ..core.search import APPROACHES
 
@@ -132,6 +137,7 @@ def run_use_case(
         sample_fraction=profile.sample_fraction,
         train_config=profile.train_config(),
         seed=profile.seed,
+        jobs=jobs,
     )
     results = {}
     for a in (approaches or APPROACHES):

@@ -19,7 +19,7 @@ from ..predictors.dataset import split_dataset
 from .cache import global_cache
 from .corpus import stage_corpus
 from .profiles import ExperimentProfile
-from .scenarios import Scenario, scenario_grid
+from .scenarios import Scenario
 
 
 @dataclass(frozen=True)
@@ -77,17 +77,18 @@ def mre_grid(
     profile: ExperimentProfile,
     kinds: tuple[str, ...] = PREDICTOR_KINDS,
     fractions: tuple[float, ...] | None = None,
+    jobs: int | None = None,
 ) -> dict[tuple[str, float, str], float]:
-    """One full Table V/VI half: {(scenario, fraction, kind): MRE%}."""
-    fractions = fractions or profile.fractions
-    out: dict[tuple[str, float, str], float] = {}
-    for scenario in scenario_grid(platform_name):
-        for fraction in fractions:
-            for kind in kinds:
-                cell = run_cell(family, scenario, fraction, kind, profile)
-                if not np.isnan(cell.mre):
-                    out[(scenario.key, fraction, kind)] = cell.mre
-    return out
+    """One full Table V/VI half: {(scenario, fraction, kind): MRE%}.
+
+    Cells run through the experiment engine: serial when ``jobs`` (or
+    ``REPRO_JOBS``) resolves to 1, fanned across a process pool
+    otherwise, with identical results either way.
+    """
+    from .engine import run_grid
+
+    return run_grid(platform_name, family, profile, kinds,
+                    fractions or profile.fractions, jobs)
 
 
 def grid_statistics(

@@ -1,11 +1,14 @@
-"""JSON (de)serialization of stage graphs.
+"""JSON (de)serialization and canonical hashing of stage graphs.
 
 Used by the dataset cache so profiled stage corpora can be written to disk
-once and reused across predictor-training runs.
+once and reused across predictor-training runs, and by the intra-op plan
+cache, which keys memoized ``optimize_stage`` results on the *structural*
+identity of a graph (:func:`canonical_hash`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -52,6 +55,38 @@ def dumps(graph: Graph) -> str:
 
 def loads(text: str) -> Graph:
     return graph_from_dict(json.loads(text))
+
+
+def canonical_graph_dict(graph: Graph) -> dict[str, Any]:
+    """Structure-only encoding: everything the cost models consume.
+
+    Node and graph *names* are deliberately excluded — two slices of a
+    model with identical ops, topology, shapes, dtypes, and operator
+    params are interchangeable to the intra-op optimizer even when their
+    layer labels differ, which is exactly what lets the plan cache share
+    work across structurally identical stage slices.
+    """
+    return {
+        "nodes": [
+            {
+                "op": n.op,
+                "inputs": list(n.inputs),
+                "shape": list(n.out.shape),
+                "dtype": n.out.dtype.name,
+                "node_type": n.node_type,
+                "params": {k: _encode_params({"v": v})["v"]
+                           for k, v in sorted(n.params.items())},
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def canonical_hash(graph: Graph) -> str:
+    """Hex SHA-256 of the canonical (name-free) graph structure."""
+    text = json.dumps(canonical_graph_dict(graph), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def _encode_params(params: dict[str, Any]) -> dict[str, Any]:

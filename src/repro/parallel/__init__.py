@@ -2,6 +2,7 @@
 
 from .inter_op import LatencyTable, StageLatencySource, slice_stages
 from .intra_op import IntraOpPlan, NodeAssignment, optimize_stage
+from .plan_cache import PlanCache, cached_optimize_stage, global_plan_cache
 from .plans import ParallelPlan, StageAssignment
 from .resharding import reshard_time
 from .sharding import REPLICATED, ShardingSpec, candidate_specs, iter_axes
@@ -12,6 +13,7 @@ __all__ = [
     "reshard_time",
     "Strategy", "node_strategies",
     "IntraOpPlan", "NodeAssignment", "optimize_stage",
+    "PlanCache", "cached_optimize_stage", "global_plan_cache",
     "LatencyTable", "StageLatencySource", "slice_stages",
     "ParallelPlan", "StageAssignment",
 ]

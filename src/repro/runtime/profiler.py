@@ -14,7 +14,6 @@ reproduction's stand-in for Alpa's profiling database.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from ..cluster.mesh import DeviceMesh, LogicalMesh
 from ..ir.autodiff import build_training_graph
@@ -22,7 +21,7 @@ from ..ir.fusion import fuse_elementwise
 from ..ir.graph import Graph
 from ..ir.pruning import prune_graph
 from ..models.model import Model
-from ..parallel.intra_op import optimize_stage
+from ..parallel.plan_cache import cached_optimize_stage
 from .executor import StageProfile, execute_plan
 
 
@@ -109,7 +108,9 @@ class StageProfiler:
             return hit
         logical = mesh.logical(dp, mp)
         tg = self.training_graph(start, end, microbatch)
-        plan = optimize_stage(tg, logical)
+        # structurally identical slices (e.g. interior layer ranges of the
+        # same width) share one intra-op DP solve through the plan cache
+        plan = cached_optimize_stage(tg, logical)
         prof = execute_plan(plan)
         result = ProfiledStage(
             stage_id=f"{self.model.name}[{start}:{end}]",
@@ -124,6 +125,18 @@ class StageProfiler:
         )
         self._cache[key] = result
         return result
+
+    def prime(self, profiled: ProfiledStage,
+              microbatch: int | None = None) -> None:
+        """Insert an externally obtained measurement into the memo.
+
+        The parallel engine profiles stages in worker processes; priming
+        the parent's cache with the returned results keeps later serial
+        lookups (plan scoring, ground-truth comparisons) free.
+        """
+        key = (*profiled.layer_range, microbatch, profiled.mesh_key,
+               profiled.dp, profiled.mp)
+        self._cache.setdefault(key, profiled)
 
     def optimal_latency(self, start: int, end: int, mesh: DeviceMesh,
                         microbatch: int | None = None) -> tuple[float, tuple[int, int]]:

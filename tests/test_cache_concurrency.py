@@ -1,0 +1,150 @@
+"""Sharded results cache under concurrent writers (regression for the
+legacy single-file store, which rewrote the whole JSON on every ``set``
+and silently lost concurrent writes)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments.cache import N_SHARDS, ResultsCache, _shard_of
+
+N_PROCS = 8
+KEYS_PER_PROC = 40
+
+#: one deliberately contended key every process also writes
+HOT_KEY = "stress/hot"
+
+
+def _writer(args):
+    """One worker: write this process's private keys plus the hot key."""
+    root, proc = args
+    cache = ResultsCache(root)
+    for i in range(KEYS_PER_PROC):
+        cache.set(f"stress/p{proc}/k{i}", {"proc": proc, "i": i,
+                                           "payload": "x" * 64})
+    cache.set(HOT_KEY, {"winner": proc})
+    return proc
+
+
+class TestConcurrentWriters:
+    def test_eight_processes_no_lost_or_torn_writes(self, tmp_path):
+        """Hammer one cache root from 8 processes; every private write must
+        survive, every shard file must stay valid JSON, and the contended
+        key must hold exactly one of the written values (not a blend)."""
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(N_PROCS) as pool:
+            done = pool.map(_writer, [(str(root), p) for p in range(N_PROCS)])
+        assert sorted(done) == list(range(N_PROCS))
+
+        # no shard file may be torn: raw-parse every one (the cache's own
+        # reader masks decode errors, which would hide corruption)
+        shard_files = list((root / "shards").glob("*.json"))
+        assert shard_files, "no shards were written"
+        for f in shard_files:
+            json.loads(f.read_text())  # raises on a torn write
+
+        fresh = ResultsCache(root)
+        for proc in range(N_PROCS):
+            for i in range(KEYS_PER_PROC):
+                value = fresh.get(f"stress/p{proc}/k{i}")
+                assert value == {"proc": proc, "i": i, "payload": "x" * 64}, \
+                    f"lost or corrupted write p{proc}/k{i}: {value!r}"
+        hot = fresh.get(HOT_KEY)
+        assert hot in [{"winner": p} for p in range(N_PROCS)]
+
+        # no leftover tmp files from interrupted atomic publishes
+        assert not list((root / "shards").glob("*.tmp*"))
+
+    def test_writers_to_one_shard_serialize(self, tmp_path):
+        """Keys engineered to collide on one shard still all survive."""
+        root = tmp_path / "cache"
+        probe = ResultsCache(root)
+        # find many keys landing in the same shard
+        target = _shard_of("collide/0")
+        keys = [k for k in (f"collide/{i}" for i in range(4096))
+                if _shard_of(k) == target][:32]
+        assert len(keys) >= 8  # 4096 draws over 256 shards
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            pool.map(_one_key_writer, [(str(root), k) for k in keys])
+        for k in keys:
+            assert probe.get(k) == {"key": k}
+        # all collided keys share one shard file
+        shard_files = list((root / "shards").glob("*.json"))
+        assert len(shard_files) == 1
+
+
+def _one_key_writer(args):
+    root, key = args
+    ResultsCache(root).set(key, {"key": key})
+
+
+class TestSharding:
+    def test_shard_of_is_stable_and_bounded(self):
+        assert _shard_of("a/b/c") == _shard_of("a/b/c")
+        assert all(0 <= int(_shard_of(f"k{i}"), 16) < N_SHARDS
+                   for i in range(64))
+
+    def test_keys_spread_across_shards(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        for i in range(128):
+            cache.set(f"spread/{i}", i)
+        shards = list((tmp_path / "shards").glob("*.json"))
+        assert len(shards) > 16  # 128 keys over 256 shards
+
+    def test_set_rewrites_only_one_shard(self, tmp_path):
+        """The O(n²) full-store-rewrite regression: updating one key must
+        leave every other shard file untouched."""
+        cache = ResultsCache(tmp_path)
+        for i in range(64):
+            cache.set(f"iso/{i}", i)
+        before = {f.name: f.stat().st_mtime_ns
+                  for f in (tmp_path / "shards").glob("*.json")}
+        cache.set("iso/0", -1)
+        after = {f.name: f.stat().st_mtime_ns
+                 for f in (tmp_path / "shards").glob("*.json")}
+        touched = [n for n in before if before[n] != after[n]]
+        assert touched == [f"{_shard_of('iso/0')}.json"]
+
+
+class TestLegacyMigration:
+    def _legacy_store(self, tmp_path):
+        legacy = tmp_path / "results.json"
+        legacy.write_text(json.dumps(
+            {f"old/{i}": {"mre": float(i)} for i in range(8)}))
+        return legacy
+
+    def test_legacy_entries_read_through(self, tmp_path):
+        self._legacy_store(tmp_path)
+        cache = ResultsCache(tmp_path)
+        assert cache.get("old/3") == {"mre": 3.0}
+        assert "old/3" in cache.keys()
+
+    def test_legacy_json_path_selects_compat_mode(self, tmp_path):
+        legacy = self._legacy_store(tmp_path)
+        cache = ResultsCache(legacy)  # point at the *.json file itself
+        assert cache.root == tmp_path
+        assert cache.get("old/5") == {"mre": 5.0}
+        cache.set("new/0", 1)
+        assert (tmp_path / "shards").is_dir()
+
+    def test_new_writes_shadow_legacy(self, tmp_path):
+        self._legacy_store(tmp_path)
+        cache = ResultsCache(tmp_path)
+        cache.set("old/2", {"mre": 99.0})
+        assert ResultsCache(tmp_path).get("old/2") == {"mre": 99.0}
+
+    def test_migrate_legacy_copies_all_and_keeps_file(self, tmp_path):
+        legacy = self._legacy_store(tmp_path)
+        cache = ResultsCache(tmp_path)
+        assert cache.migrate_legacy() == 8
+        assert cache.migrate_legacy() == 0  # idempotent
+        # legacy file untouched, entries now also in shards
+        assert json.loads(legacy.read_text())["old/0"] == {"mre": 0.0}
+        legacy.unlink()
+        assert ResultsCache(tmp_path).get("old/7") == {"mre": 7.0}

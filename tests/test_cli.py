@@ -11,9 +11,14 @@ class TestParser:
         for argv in (["info"],
                      ["profile", "--dp", "2"],
                      ["predict", "--epochs", "3"],
-                     ["search", "--approach", "full"]):
+                     ["search", "--approach", "full"],
+                     ["bench", "table5", "--jobs", "2"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_bench_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["bench", "table7"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -58,3 +63,18 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "optimization cost" in out
+
+    def test_bench_table5_writes_artifacts(self, capsys, tmp_path,
+                                           monkeypatch):
+        import repro.experiments.cache as cache_mod
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+        rc = main(["bench", "table5", "--family", "gpt", "--jobs", "1",
+                   "--profile", "smoke", "--output", str(tmp_path / "out")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MRE" in out and "jobs=1" in out
+        csv_path = tmp_path / "out" / "smoke" / "table5_gpt.csv"
+        txt_path = tmp_path / "out" / "smoke" / "table5_gpt.txt"
+        assert csv_path.is_file() and txt_path.is_file()
+        assert "scenario,fraction,predictor,mre_pct" in csv_path.read_text()

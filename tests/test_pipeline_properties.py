@@ -1,0 +1,92 @@
+"""Property tests for the 1F1B discrete-event simulator vs Eqn 4.
+
+The white-box closed form ``T = Σ t_i + (B-1)·max_j t_j`` (Eqn 4) is the
+paper's inter-stage model.  Invariants the simulator must hold:
+
+* **uniform stages** — the simulated makespan equals Eqn 4 *exactly*
+  (every stage identical, the flow shop has no slack anywhere);
+* **perturbed stages** — whatever the per-stage times, the combined-pass
+  simulation never undercuts Eqn 4 (it is the flow-shop identity with
+  free transfers, and transfers only add);
+* **work envelopes** — any schedule, including split fwd/bwd 1F1B, is
+  bounded below by the bottleneck stage's busy time ``B·max t`` and the
+  one-microbatch critical path ``Σ t``;
+* **monotonicity** — slowing any stage never speeds up the pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NVLINK, TEN_GBE
+from repro.runtime import simulated_latency, whitebox_latency
+
+stage_lists = st.lists(st.floats(0.01, 5.0), min_size=1, max_size=8)
+micro = st.integers(1, 16)
+
+
+class TestUniformStages:
+    @given(t=st.floats(0.01, 5.0), S=st.integers(1, 8), B=micro)
+    @settings(max_examples=60, deadline=None)
+    def test_simulator_equals_eqn4_exactly(self, t, S, B):
+        stages = [t] * S
+        assert simulated_latency(stages, B) == \
+            pytest.approx(whitebox_latency(stages, B), rel=1e-12)
+
+    @given(t=st.floats(0.01, 5.0), S=st.integers(1, 8), B=micro)
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_closed_form_value(self, t, S, B):
+        # Eqn 4 on uniform stages reduces to (S + B - 1) · t
+        assert simulated_latency([t] * S, B) == \
+            pytest.approx((S + B - 1) * t, rel=1e-12)
+
+
+class TestPerturbedStages:
+    @given(stages=stage_lists, B=micro, seed=st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_never_undercuts_eqn4(self, stages, B, seed):
+        """Perturbing stages off-uniform must keep sim >= the Eqn 4 bound."""
+        wb = whitebox_latency(stages, B)
+        sim = simulated_latency(stages, B)
+        assert sim >= wb * (1 - 1e-12)
+
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=30, deadline=None)
+    def test_transfers_only_add(self, stages, B):
+        free = simulated_latency(stages, B)
+        for link in (NVLINK, TEN_GBE):
+            slow = simulated_latency(stages, B, transfer_bytes=64e6, link=link)
+            assert slow >= free - 1e-12
+            assert slow >= whitebox_latency(stages, B) * (1 - 1e-12)
+
+    @given(stages=stage_lists, B=micro,
+           idx_frac=st.floats(0.0, 0.999), bump=st.floats(0.01, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_stage_times(self, stages, B, idx_frac, bump):
+        """Slowing one stage never shortens the schedule."""
+        base = simulated_latency(stages, B)
+        slower = list(stages)
+        slower[int(idx_frac * len(stages))] += bump
+        assert simulated_latency(slower, B) >= base - 1e-12
+
+
+class TestWorkEnvelopes:
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=40, deadline=None)
+    def test_split_1f1b_bounded_below_by_work_and_critical_path(
+            self, stages, B):
+        """Fwd/bwd interleaving may beat Eqn 4, but no schedule can beat
+        the bottleneck's total work or the single-microbatch path."""
+        sim = simulated_latency(stages, B, split_backward=True)
+        assert sim >= B * max(stages) * (1 - 1e-12)
+        assert sim >= sum(stages) * (1 - 1e-12)
+
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=40, deadline=None)
+    def test_combined_pass_equals_flow_shop_identity(self, stages, B):
+        """With identical jobs and free transfers the FIFO flow shop has a
+        closed-form makespan: exactly Eqn 4, uniform or not."""
+        assert simulated_latency(stages, B) == \
+            pytest.approx(whitebox_latency(stages, B), rel=1e-9)
