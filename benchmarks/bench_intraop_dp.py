@@ -1,0 +1,55 @@
+"""Micro-benchmark of the intra-op DP hot path (vectorized vs reference).
+
+Statistical timing of both solvers over a reduced slice of the active
+profile's GPT grid, plus a one-shot run of the full harness that asserts
+the differential identity and persists ``BENCH_intraop.json`` under
+``results/<profile>/``.  The checked-in repo-root ``BENCH_intraop.json``
+is regenerated with ``repro bench micro`` instead (full grid).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.intra_op import optimize_stage, optimize_stage_reference
+from repro.perf.microbench import grid_cases, run_intraop_microbench
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="module")
+def quick_cases(profile):
+    cases = grid_cases(profile, "gpt", quick=True)
+    for case in cases:  # warm every cache tier, as in grid production use
+        optimize_stage(case.graph, case.mesh)
+        optimize_stage_reference(case.graph, case.mesh)
+    return cases
+
+
+def test_intraop_vectorized(benchmark, quick_cases):
+    def run():
+        return [optimize_stage(c.graph, c.mesh) for c in quick_cases]
+
+    plans = benchmark(run)
+    assert all(p.estimated_time > 0 for p in plans)
+
+
+def test_intraop_reference(benchmark, quick_cases):
+    def run():
+        return [optimize_stage_reference(c.graph, c.mesh)
+                for c in quick_cases]
+
+    plans = benchmark(run)
+    assert all(p.estimated_time > 0 for p in plans)
+
+
+def test_intraop_harness(profile, save_result):
+    result = run_intraop_microbench(profile, quick=True)
+    assert result["differential"]["identical"]
+    assert result["overall"]["speedup"] > 1.0
+    out = RESULTS_DIR / profile.name / "BENCH_intraop.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"\nintra-op micro-bench speedup "
+          f"{result['overall']['speedup']:.1f}x [saved to {out}]")

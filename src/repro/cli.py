@@ -159,6 +159,24 @@ def cmd_bench(args) -> int:
     from .predictors.base import PREDICTOR_KINDS
 
     profile = PROFILES[args.profile] if args.profile else active_profile()
+
+    if args.target == "micro":
+        import json
+
+        from .perf import run_intraop_microbench
+
+        result = run_intraop_microbench(profile, quick=args.quick)
+        out = Path(args.output or Path(__file__).resolve().parents[2]
+                   ) / "BENCH_intraop.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        ok = result["differential"]["identical"]
+        print(f"intra-op DP micro-bench: {result['n_cases']} cases, "
+              f"speedup {result['overall']['speedup']:.1f}x, "
+              f"differential {'identical' if ok else 'MISMATCH'} "
+              f"[saved to {out}]")
+        return 0 if ok else 1
+
     jobs = args.jobs if args.jobs else n_jobs()
     families = ("gpt", "moe") if args.family == "both" else (args.family,)
     out_dir = Path(args.output or
@@ -231,8 +249,11 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench", help="regenerate experiment grids via the parallel engine")
     p.add_argument("target",
-                   choices=("table5", "table6", "tables", "usecase"),
-                   help="which artifact to (re)compute")
+                   choices=("table5", "table6", "tables", "usecase", "micro"),
+                   help="which artifact to (re)compute (micro: the intra-op "
+                        "DP micro-benchmark -> BENCH_intraop.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="micro only: reduced case set / repeats (CI smoke)")
     p.add_argument("--family", choices=("gpt", "moe", "both"), default="both")
     p.add_argument("--jobs", type=int, default=0,
                    help="engine workers (0 = REPRO_JOBS / cpu count)")

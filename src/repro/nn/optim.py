@@ -26,6 +26,17 @@ class Adam:
         self.t = 0
         self.m = [np.zeros_like(p.data) for p in self.params]
         self.v = [np.zeros_like(p.data) for p in self.params]
+        # two reusable scratch buffers per dtype (sized for the largest
+        # parameter): the update needs the numerator lr·(m/bias1) and the
+        # denominator sqrt(v/bias2)+eps alive at the same time, and fusing
+        # them differently would reassociate the float ops and change the
+        # trained weights bit-for-bit
+        sizes: dict[np.dtype, int] = {}
+        for p in self.params:
+            dt = p.data.dtype
+            sizes[dt] = max(sizes.get(dt, 0), p.data.size)
+        self._scratch = {dt: (np.empty(n, dt), np.empty(n, dt))
+                         for dt, n in sizes.items()}
 
     def step(self) -> None:
         self.t += 1
@@ -36,11 +47,23 @@ class Adam:
             if p.grad is None:
                 continue
             g = p.grad
+            s1, s2 = self._scratch[p.data.dtype]
+            t1 = s1[:g.size].reshape(g.shape)
+            t2 = s2[:g.size].reshape(g.shape)
             m *= b1
-            m += (1 - b1) * g
+            np.multiply(g, 1 - b1, out=t1)
+            m += t1
             v *= b2
-            v += (1 - b2) * g * g
-            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            np.multiply(g, 1 - b2, out=t1)
+            t1 *= g
+            v += t1
+            np.divide(m, bias1, out=t1)
+            t1 *= self.lr
+            np.divide(v, bias2, out=t2)
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            t1 /= t2
+            p.data -= t1
 
     def zero_grad(self) -> None:
         for p in self.params:

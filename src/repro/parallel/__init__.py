@@ -1,18 +1,22 @@
 """Parallelization substrate: sharding, intra-op and inter-op optimization."""
 
 from .inter_op import LatencyTable, StageLatencySource, slice_stages
-from .intra_op import IntraOpPlan, NodeAssignment, optimize_stage
+from .intra_op import (IntraOpPlan, NodeAssignment, optimize_stage,
+                       optimize_stage_reference)
 from .plan_cache import PlanCache, cached_optimize_stage, global_plan_cache
 from .plans import ParallelPlan, StageAssignment
-from .resharding import reshard_time
-from .sharding import REPLICATED, ShardingSpec, candidate_specs, iter_axes
+from .resharding import ReshardCache, reshard_cache, reshard_time
+from .sharding import (REPLICATED, ShardingSpec, candidate_specs, intern_spec,
+                       iter_axes, spec_by_id, spec_id)
 from .strategies import Strategy, node_strategies
 
 __all__ = [
     "ShardingSpec", "REPLICATED", "candidate_specs", "iter_axes",
-    "reshard_time",
+    "intern_spec", "spec_id", "spec_by_id",
+    "reshard_time", "ReshardCache", "reshard_cache",
     "Strategy", "node_strategies",
     "IntraOpPlan", "NodeAssignment", "optimize_stage",
+    "optimize_stage_reference",
     "PlanCache", "cached_optimize_stage", "global_plan_cache",
     "LatencyTable", "StageLatencySource", "slice_stages",
     "ParallelPlan", "StageAssignment",

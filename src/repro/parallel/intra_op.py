@@ -21,17 +21,35 @@ The optimizer is a two-pass dynamic program over the topological order:
 Edges out of leaf nodes (stage inputs, parameters) never pay resharding:
 parameters are laid out at compile time and stage inputs arrive through
 the pipeline already in the sharding the first consumer wants.
+
+Two implementations coexist:
+
+* :func:`optimize_stage` — the production path.  Shardings are interned
+  integer ids, kernel times come from the memoized ``op_time_cached``,
+  reshard costs from per-mesh :class:`~.resharding.ReshardCache` tables,
+  and both DP passes run as numpy min-plus algebra
+  (``np.min(share * ptable[:, None] + R, axis=0)`` forward, vectorized
+  argmin in reverse).
+* :func:`optimize_stage_reference` — the original pure-Python dict-scan
+  formulation, kept as the differential-testing oracle.  The vectorized
+  path must produce **bit-identical** committed shardings, table costs,
+  and DP estimates (every float op is replayed in the same order; min and
+  argmin are exact), which ``tests/test_intraop_vectorized.py`` enforces.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..cluster.mesh import LogicalMesh
 from ..ir.graph import Graph, TensorSpec
-from ..runtime.opcost import op_time
-from .resharding import reshard_time
-from .sharding import REPLICATED, ShardingSpec, candidate_specs
+from ..runtime.opcost import node_cost_key, op_time, op_time_cached
+from .resharding import reshard_cache, reshard_time
+from .sharding import (REPLICATED, ShardingSpec, candidate_specs, spec_by_id,
+                       spec_id)
 from .strategies import Strategy, node_strategies
 
 
@@ -65,8 +83,264 @@ class IntraOpPlan:
         return self.assignments[nid].out_spec
 
 
+class _NodeTable:
+    """Pre-vectorized per-(node-structure, mesh) DP table.
+
+    Everything the forward sweep needs that does not depend on the
+    surrounding graph is computed once and shared by every structurally
+    identical node on the same mesh: the strategy tuple, the base cost
+    vector (kernel time under each strategy's work division plus its own
+    collectives), per-slot required-spec column structure, and the
+    grouping of strategies by output sharding.
+    """
+
+    __slots__ = ("strats", "assigns", "base", "slots", "out_ids", "out_col")
+
+    def __init__(self, strats: tuple[Strategy, ...], base: np.ndarray) -> None:
+        self.strats = strats
+        self.assigns = tuple(NodeAssignment(s) for s in strats)
+        self.base = base
+        base.flags.writeable = False
+        # per input slot: (distinct required spec ids, strategy -> column
+        # map or None when every strategy requires the same single spec,
+        # present mask or None when every strategy has the slot)
+        slots = []
+        max_arity = max((len(s.ins) for s in strats), default=0)
+        for slot in range(max_arity):
+            cols: list[int] = []
+            col_index: dict[int, int] = {}
+            req_of = np.empty(len(strats), dtype=np.intp)
+            missing = False
+            for i, s in enumerate(strats):
+                if slot >= len(s.ins):
+                    req_of[i] = -1
+                    missing = True
+                    continue
+                rid = spec_id(s.ins[slot])
+                j = col_index.get(rid)
+                if j is None:
+                    j = len(cols)
+                    col_index[rid] = j
+                    cols.append(rid)
+                req_of[i] = j
+            has = req_of >= 0 if missing else None
+            if len(cols) == 1 and not missing:
+                req_of = None  # scalar broadcast instead of a gather
+            slots.append((tuple(cols), req_of, has))
+        self.slots = tuple(slots)
+        ids: list[int] = []
+        gidx: dict[int, int] = {}
+        colv = np.empty(len(strats), dtype=np.intp)
+        for i, s in enumerate(strats):
+            sid = spec_id(s.out)
+            j = gidx.get(sid)
+            if j is None:
+                j = len(ids)
+                gidx[sid] = j
+                ids.append(sid)
+            colv[i] = j
+        self.out_ids = tuple(ids)
+        # identity grouping (all outputs distinct) skips the scatter-min
+        self.out_col = None if len(ids) == len(strats) else colv
+
+
+#: mesh -> {structure key -> _NodeTable}
+_MESH_TABLES: dict[LogicalMesh, dict[tuple, _NodeTable]] = {}
+
+_FALLBACK_NAME = "fallback[R]"
+
+
+def _mesh_tables(mesh: LogicalMesh) -> dict[tuple, _NodeTable]:
+    tabs = _MESH_TABLES.get(mesh)
+    if tabs is None:
+        tabs = _MESH_TABLES.setdefault(mesh, {})
+    return tabs
+
+
+def clear_table_caches() -> None:
+    """Drop the node-table and solve-plan caches (tests and benchmarks)."""
+    _MESH_TABLES.clear()
+    _SOLVE_PLANS.clear()
+
+
+def _build_table(graph: Graph, node, mesh: LogicalMesh) -> _NodeTable:
+    """Strategy table + base costs for an input/literal/operator node."""
+    if node.node_type in ("input", "literal"):
+        strats = tuple(Strategy(f"leaf[{c}]", c, (), 1, 0.0)
+                       for c in candidate_specs(node.out, mesh))
+        return _NodeTable(strats, np.zeros(len(strats)))
+    in_specs = [graph.nodes[i].out for i in node.inputs]
+    gpu = mesh.gpu
+    ckey = node_cost_key(node, in_specs)
+    strats = tuple(node_strategies(node, in_specs, mesh))
+    if not strats:  # always possible: fully replicated execution, and —
+        # matching the reference fallback — without input-edge charges
+        strats = (Strategy(_FALLBACK_NAME, REPLICATED,
+                           tuple(REPLICATED for _ in node.inputs), 1, 0.0),)
+        base = np.array([op_time_cached(node, in_specs, gpu, 1.0, ckey)])
+        table = _NodeTable(strats, base)
+        table.slots = ()
+        return table
+    base = np.array([op_time_cached(node, in_specs, gpu, float(s.factor), ckey)
+                     + s.comm_time for s in strats], dtype=np.float64)
+    return _NodeTable(strats, base)
+
+
+def _output_table(parent_out_ids: tuple[int, ...]) -> _NodeTable:
+    """Output nodes adopt their operand's sharding at no cost: one
+    strategy per distinct parent out-spec, in parent table order."""
+    strats = []
+    for sid in parent_out_ids:
+        s = spec_by_id(sid)
+        strats.append(Strategy(f"out[{s}]", s, (s,), 1, 0.0))
+    return _NodeTable(tuple(strats), np.zeros(len(strats)))
+
+
+class _SolvePlan:
+    """Per-(graph, mesh) prepared DP: every lookup the sweep needs that
+    depends only on the graph structure and the mesh — node tables, the
+    reshard-cost matrix of each non-leaf edge, consumer shares, reverse
+    edge lists — prebound so a solve is pure min-plus algebra.
+
+    Leaf edges (stage inputs, parameters) are dropped at prepare time:
+    leaf tables cost exactly 0.0 under every candidate sharding, so the
+    reference's ``min(share * 0.0 + 0.0) = 0.0`` contribution is the
+    float-addition identity here (no ``-0.0`` can arise from these sums).
+    """
+
+    __slots__ = ("n", "fwd", "rev")
+
+    def __init__(self, n: int, fwd: list, rev: list) -> None:
+        self.n = n
+        #: per node: (table, ((pid, share, R, req_of, has), ...))
+        self.fwd = fwd
+        #: reversed order: (nid, table, nbytes, ((cid, slot), ...), is_sink)
+        self.rev = rev
+
+
+#: graph -> {mesh -> _SolvePlan}; weak so retired graphs free their plans
+_SOLVE_PLANS: "weakref.WeakKeyDictionary[Graph, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _prepare(graph: Graph, mesh: LogicalMesh) -> _SolvePlan:
+    n = len(graph)
+    rcache = reshard_cache(mesh)
+    tables = _mesh_tables(mesh)
+    node_tab: list[_NodeTable] = [None] * n  # type: ignore
+
+    fwd = []
+    for node in graph.nodes:
+        if node.node_type == "output":
+            key = ("out", node_tab[node.inputs[0]].out_ids)
+        elif node.node_type == "operator":
+            key = ("op", node_cost_key(
+                node, [graph.nodes[i].out for i in node.inputs]))
+        else:
+            key = ("leaf", node.out.shape)
+        table = tables.get(key)
+        if table is None:
+            table = (_output_table(key[1]) if node.node_type == "output"
+                     else _build_table(graph, node, mesh))
+            tables[key] = table
+        node_tab[node.id] = table
+
+        slot_ops = []
+        for slot, (cols, req_of, has) in enumerate(table.slots):
+            pid = node.inputs[slot]
+            pnode = graph.nodes[pid]
+            if pnode.node_type in ("input", "literal"):
+                continue  # leaf edges reshard for free: exact 0.0 charge
+            share = 1.0 / max(1, len(graph.consumers(pid)))
+            R = rcache.matrix(node_tab[pid].out_ids, cols, pnode.out.nbytes)
+            slot_ops.append((pid, share, R, req_of, has))
+        fwd.append((table, tuple(slot_ops)))
+
+    rev = []
+    for node in reversed(graph.nodes):
+        cons = graph.consumers(node.id)
+        leaf = node.node_type in ("input", "literal")
+        edges = () if leaf else tuple(
+            (cid, graph.nodes[cid].inputs.index(node.id)) for cid in cons)
+        rev.append((node.id, node_tab[node.id], node.out.nbytes, edges,
+                    not cons))
+    return _SolvePlan(n, fwd, rev)
+
+
+def _solve_plan(graph: Graph, mesh: LogicalMesh) -> _SolvePlan:
+    per_mesh = _SOLVE_PLANS.get(graph)
+    if per_mesh is None:
+        per_mesh = _SOLVE_PLANS.setdefault(graph, {})
+    plan = per_mesh.get(mesh)
+    if plan is None or plan.n != len(graph):  # graphs are append-only
+        plan = _prepare(graph, mesh)
+        per_mesh[mesh] = plan
+    return plan
+
+
 def optimize_stage(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
-    """Assign an SPMD strategy to every node of ``graph`` on ``mesh``."""
+    """Assign an SPMD strategy to every node of ``graph`` on ``mesh``.
+
+    Vectorized formulation: per node, the forward table is a strategy-cost
+    vector; per edge, the cheapest way to obtain each required input
+    sharding is one min-plus contraction of the producer's per-spec cost
+    vector against a memoized reshard-cost matrix
+    (``(share * pcost[:, None] + R).min(axis=0)``).  All float operations
+    replay :func:`optimize_stage_reference` in the same order, so results
+    are bit-identical — ``tests/test_intraop_vectorized.py`` enforces it.
+
+    Every parent table carries at least one entry (the enumeration ends in
+    an explicit replicated fallback), so the reference implementation's
+    per-strategy feasibility bookkeeping is vacuous and elided here.
+    """
+    plan = _solve_plan(graph, mesh)
+    rcache = reshard_cache(mesh)
+    n = plan.n
+    cost_tab: list[np.ndarray] = [None] * n  # type: ignore  # (S,) fwd costs
+    #: min forward cost per distinct out spec (the by-spec table)
+    group_cost: list[np.ndarray] = [None] * n  # type: ignore
+
+    for nid, (table, slot_ops) in enumerate(plan.fwd):
+        costs = table.base
+        for pid, share, R, req_of, has in slot_ops:
+            best = (share * group_cost[pid][:, None] + R).min(axis=0)
+            if req_of is None:  # single required spec across all strategies
+                costs = costs + best[0]
+            elif has is None:
+                costs = costs + best[req_of]
+            else:
+                costs = costs.copy()
+                costs[has] += best[req_of[has]]
+        cost_tab[nid] = costs
+        if table.out_col is None:
+            group_cost[nid] = costs
+        else:
+            gc = np.full(len(table.out_ids), np.inf)
+            np.minimum.at(gc, table.out_col, costs)
+            group_cost[nid] = gc
+
+    # ---- reverse resolution ------------------------------------------------
+    assignments: list[NodeAssignment | None] = [None] * n
+    estimated = 0.0
+    column = rcache.column
+    for nid, table, nb, edges, is_sink in plan.rev:
+        totals = cost_tab[nid]
+        ocol = table.out_col
+        for cid, slot in edges:
+            strat = assignments[cid].strategy
+            if slot < len(strat.ins):
+                rcol = column(table.out_ids, spec_id(strat.ins[slot]), nb)
+                totals = totals + rcol if ocol is None else totals + rcol[ocol]
+        best_idx = totals.argmin()
+        assignments[nid] = table.assigns[best_idx]
+        if is_sink:  # sink: accumulate DP estimate
+            estimated += float(totals[best_idx])
+
+    return IntraOpPlan(graph, mesh, list(assignments), estimated)  # type: ignore[arg-type]
+
+
+def optimize_stage_reference(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
+    """The original pure-Python DP — the differential-testing oracle."""
     n = len(graph)
     gpu = mesh.gpu
     # per node: list[(Strategy, table_cost)]

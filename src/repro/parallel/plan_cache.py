@@ -17,7 +17,10 @@ rebound to the caller's graph object, so downstream consumers (the
 executor, whose measurement noise is keyed on the *name* of the graph)
 see exactly the plan the DP would have produced for that graph.
 
-Disable with ``REPRO_PLAN_CACHE=off``.
+Disable with ``REPRO_PLAN_CACHE=off``.  ``REPRO_INTRAOP=reference``
+routes every solve through the pure-Python oracle implementation instead
+of the vectorized DP (the two are differentially tested to be
+bit-identical, so this is a debugging escape hatch, not a results knob).
 """
 
 from __future__ import annotations
@@ -28,7 +31,15 @@ from dataclasses import dataclass, field
 from ..cluster.mesh import LogicalMesh
 from ..ir.graph import Graph
 from ..ir.serialize import canonical_hash
-from .intra_op import IntraOpPlan, NodeAssignment, optimize_stage
+from .intra_op import (IntraOpPlan, NodeAssignment, optimize_stage,
+                       optimize_stage_reference)
+
+
+def _optimize_impl():
+    """The intra-op solver selected by ``REPRO_INTRAOP``."""
+    if os.environ.get("REPRO_INTRAOP", "").lower() in ("reference", "ref"):
+        return optimize_stage_reference
+    return optimize_stage
 
 
 @dataclass
@@ -58,7 +69,7 @@ class PlanCache:
             assignments, estimated = hit
             return IntraOpPlan(graph, mesh, list(assignments), estimated)
         self.stats.misses += 1
-        plan = optimize_stage(graph, mesh)
+        plan = _optimize_impl()(graph, mesh)
         self._entries[key] = (list(plan.assignments), plan.estimated_time)
         return plan
 
@@ -83,5 +94,5 @@ def global_plan_cache() -> PlanCache:
 def cached_optimize_stage(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
     """`optimize_stage` through the global plan cache (env-gated)."""
     if os.environ.get("REPRO_PLAN_CACHE", "").lower() == "off":
-        return optimize_stage(graph, mesh)
+        return _optimize_impl()(graph, mesh)
     return global_plan_cache().optimize(graph, mesh)

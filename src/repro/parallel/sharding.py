@@ -6,10 +6,20 @@ is deliberately small — replicate, shard dim 0, shard the last dim, or
 shard both on different axes — which covers every strategy the Megatron /
 Alpa intra-op space uses for transformer workloads while keeping the
 per-node optimization tractable.
+
+Specs are *interned*: the factory functions and
+:func:`intern_assignments` return one canonical instance per distinct
+assignments tuple, validated exactly once and carrying a stable integer
+id (:func:`spec_id`).  The vectorized intra-op DP and the cost-table
+caches use those ids as array indices, so the hot loops never rebuild or
+re-validate specs.  Ids are process-local: lookups go through the
+assignments tuple (never a pickled attribute), so specs that cross
+process boundaries re-resolve safely.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -39,15 +49,15 @@ class ShardingSpec:
     # ------------------------------------------------------------- factories
     @staticmethod
     def replicated() -> "ShardingSpec":
-        return ShardingSpec(())
+        return intern_assignments(())
 
     @staticmethod
     def shard(dim: int, axis: str) -> "ShardingSpec":
-        return ShardingSpec(((dim, axis),))
+        return intern_assignments(((dim, axis),))
 
     @staticmethod
     def shard2(dim0: int, axis0: str, dim1: int, axis1: str) -> "ShardingSpec":
-        return ShardingSpec(((dim0, axis0), (dim1, axis1)))
+        return intern_assignments(((dim0, axis0), (dim1, axis1)))
 
     # --------------------------------------------------------------- queries
     @property
@@ -101,7 +111,81 @@ class ShardingSpec:
         return "+".join(f"S{d}@{a}" for d, a in self.assignments)
 
 
+# --------------------------------------------------------------- interning
+
+_INTERN_LOCK = threading.Lock()
+#: assignments tuple -> the canonical (validated-once) instance
+_INTERN: dict[tuple, ShardingSpec] = {}
+#: assignments tuple -> stable integer id (index into _SPECS_BY_ID)
+_SPEC_IDS: dict[tuple, int] = {}
+_SPECS_BY_ID: list[ShardingSpec] = []
+#: (spec id, dp > 1, mp > 1) -> interned normalized spec
+_NORM_CACHE: dict[tuple[int, bool, bool], ShardingSpec] = {}
+
+
+def intern_assignments(assignments: tuple[tuple[int, str], ...]) -> ShardingSpec:
+    """Canonical :class:`ShardingSpec` for ``assignments``.
+
+    Validation runs once per distinct tuple; repeated calls return the
+    same instance.  Invalid assignments raise :class:`ValueError` (and are
+    never cached).  Safe to call from multiple threads.
+    """
+    spec = _INTERN.get(assignments)
+    if spec is None:
+        with _INTERN_LOCK:
+            spec = _INTERN.get(assignments)
+            if spec is None:
+                spec = ShardingSpec(assignments)
+                _SPEC_IDS[assignments] = len(_SPECS_BY_ID)
+                _SPECS_BY_ID.append(spec)
+                _INTERN[assignments] = spec
+    return spec
+
+
+def intern_spec(spec: ShardingSpec) -> ShardingSpec:
+    """The canonical instance equal to ``spec``."""
+    return intern_assignments(spec.assignments)
+
+
+def spec_id(spec: ShardingSpec) -> int:
+    """Stable process-local integer id of ``spec`` (interning on demand)."""
+    sid = _SPEC_IDS.get(spec.assignments)
+    if sid is None:
+        intern_assignments(spec.assignments)
+        sid = _SPEC_IDS[spec.assignments]
+    return sid
+
+
+def spec_by_id(sid: int) -> ShardingSpec:
+    """Inverse of :func:`spec_id`."""
+    return _SPECS_BY_ID[sid]
+
+
+def normalized_spec(spec: ShardingSpec, mesh: LogicalMesh) -> ShardingSpec:
+    """Interned ``spec.normalized(mesh)``, cached per (spec, axis-sizes).
+
+    Normalization only depends on which mesh axes have size > 1, so the
+    cache key is ``(spec_id, dp > 1, mp > 1)`` and the result is shared
+    across every mesh with the same degenerate-axis pattern.
+    """
+    key = (spec_id(spec), mesh.dp > 1, mesh.mp > 1)
+    norm = _NORM_CACHE.get(key)
+    if norm is None:
+        norm = intern_spec(spec.normalized(mesh))
+        _NORM_CACHE[key] = norm
+    return norm
+
+
+def intern_stats() -> dict[str, int]:
+    """Cache sizes, for tests and the perf harness."""
+    return {"specs": len(_SPECS_BY_ID), "normalized": len(_NORM_CACHE)}
+
+
 REPLICATED = ShardingSpec.replicated()
+
+#: (tensor shape, dp, mp) -> candidate list; candidate validity/normalization
+#: reads only the shape and the axis sizes, so twins share one enumeration
+_CANDIDATE_CACHE: dict[tuple, tuple[ShardingSpec, ...]] = {}
 
 
 def candidate_specs(spec: TensorSpec, mesh: LogicalMesh) -> list[ShardingSpec]:
@@ -111,6 +195,10 @@ def candidate_specs(spec: TensorSpec, mesh: LogicalMesh) -> list[ShardingSpec]:
     dims on the two different axes.  Invalid (non-dividing) candidates are
     filtered; duplicates collapse when the tensor is rank-1.
     """
+    ckey = (spec.shape, mesh.dp, mesh.mp)
+    cached = _CANDIDATE_CACHE.get(ckey)
+    if cached is not None:
+        return list(cached)
     cands: list[ShardingSpec] = [REPLICATED]
     if spec.rank >= 1:
         last = spec.rank - 1
@@ -125,13 +213,14 @@ def candidate_specs(spec: TensorSpec, mesh: LogicalMesh) -> list[ShardingSpec]:
     seen: set[tuple] = set()
     out = []
     for c in cands:
-        c = c.normalized(mesh)
+        c = normalized_spec(c, mesh)
         if c.assignments in seen:
             continue
         if not c.valid_for(spec, mesh):
             continue
         seen.add(c.assignments)
         out.append(c)
+    _CANDIDATE_CACHE[ckey] = tuple(out)
     return out
 
 

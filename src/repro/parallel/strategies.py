@@ -19,7 +19,7 @@ from ..cluster.collectives import allreduce_time
 from ..cluster.mesh import LogicalMesh
 from ..ir.graph import Node, TensorSpec
 from ..ir.ops import op_def
-from .sharding import REPLICATED, ShardingSpec, iter_axes
+from .sharding import REPLICATED, ShardingSpec, intern_assignments, iter_axes
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ def _align_broadcast(out_spec: ShardingSpec, out: TensorSpec,
         di = d - offset
         if di >= 0 and operand.shape[di] == out.shape[d]:
             assignments.append((di, a))
-    return ShardingSpec(tuple(assignments))
+    return intern_assignments(tuple(assignments))
 
 
 def _out_candidates(out: TensorSpec, mesh: LogicalMesh) -> list[ShardingSpec]:
@@ -116,7 +116,7 @@ def _reduction(node: Node, ins: Sequence[TensorSpec],
             in_assign.append((di, a))
         if not ok:
             continue
-        in_spec = ShardingSpec(tuple(in_assign))
+        in_spec = intern_assignments(tuple(in_assign))
         if not in_spec.valid_for(src, mesh):
             continue
         rest = tuple(REPLICATED for _ in ins[1:])
@@ -130,7 +130,7 @@ def _transpose(node: Node, ins: Sequence[TensorSpec],
     perm = tuple(node.params.get("perm", range(node.out.rank)))
     strats = []
     for c in _out_candidates(node.out, mesh):
-        in_spec = ShardingSpec(tuple((perm[d], a) for d, a in c.assignments))
+        in_spec = intern_assignments(tuple((perm[d], a) for d, a in c.assignments))
         if in_spec.valid_for(ins[0], mesh):
             strats.append(Strategy(f"tr[{c}]", c, (in_spec,),
                                    c.shard_factor(mesh), 0.0))
@@ -177,7 +177,7 @@ def _reshape(node: Node, ins: Sequence[TensorSpec],
             in_assign.append((di, a))
         if not ok:
             continue
-        in_spec = ShardingSpec(tuple(in_assign))
+        in_spec = intern_assignments(tuple(in_assign))
         if not in_spec.valid_for(ins[0], mesh):
             continue
         strats.append(Strategy(f"rs[{c}]", c, (in_spec,),
@@ -251,9 +251,9 @@ def _dot_general(node: Node, ins: Sequence[TensorSpec],
             if mv.rhs_dim is not None:
                 rhs_assign.append((mv.rhs_dim, mv.axis))
         try:
-            out_spec = ShardingSpec(tuple(out_assign))
-            lhs_spec = ShardingSpec(tuple(lhs_assign))
-            rhs_spec = ShardingSpec(tuple(rhs_assign))
+            out_spec = intern_assignments(tuple(out_assign))
+            lhs_spec = intern_assignments(tuple(lhs_assign))
+            rhs_spec = intern_assignments(tuple(rhs_assign))
         except ValueError:  # a dim or axis mapped twice: incompatible combo
             return None
         if not (out_spec.valid_for(out, mesh) and lhs_spec.valid_for(lhs, mesh)

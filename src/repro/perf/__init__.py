@@ -1,0 +1,13 @@
+"""Performance instrumentation and micro-benchmark harness.
+
+``repro.perf.timing`` provides scoped wall-clock timers and counters with
+percentile summaries; ``repro.perf.microbench`` drives the intra-op DP
+micro-benchmark over the active profile's GPT grid and emits the
+``BENCH_intraop.json`` artifact (``repro bench micro``).
+"""
+
+from .timing import PerfRecorder, TimingStats, percentile
+from .microbench import run_intraop_microbench
+
+__all__ = ["PerfRecorder", "TimingStats", "percentile",
+           "run_intraop_microbench"]

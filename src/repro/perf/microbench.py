@@ -1,0 +1,185 @@
+"""Intra-op DP micro-benchmark: vectorized solver vs the reference oracle.
+
+The case set is the active profile's GPT grid — every contiguous unit
+slice of the layer clustering, crossed with every Table-III logical view
+of every Platform-2 mesh — i.e. exactly the (stage, mesh) population the
+Table V/VI experiments solve.  For each case the harness
+
+1. verifies the vectorized solver is **identical** to
+   :func:`~repro.parallel.intra_op.optimize_stage_reference` (same DP
+   estimate, same committed shardings — equality, not tolerance);
+2. times both solvers warm (caches populated, as in grid production use)
+   and reports p50/p95/throughput per graph-size bucket plus the overall
+   speedup.
+
+``repro bench micro`` writes the result as ``BENCH_intraop.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.mesh import LogicalMesh, logical_views
+from ..cluster.platforms import PLATFORM2
+from ..experiments.profiles import ExperimentProfile, active_profile
+from ..ir.graph import Graph
+from ..models.clustering import cluster_layers
+from ..models.configs import benchmark_config
+from ..models.model import build_model
+from ..parallel.intra_op import optimize_stage, optimize_stage_reference
+from ..runtime.profiler import StageProfiler
+from .timing import PerfRecorder, percentile
+
+SCHEMA = "predtop.bench_intraop/v1"
+
+#: graph-size buckets: label -> (lo, hi) node-count bounds, hi exclusive
+BUCKETS = (("small<200", 0, 200),
+           ("medium<400", 200, 400),
+           ("large>=400", 400, 10**9))
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (stage training graph, logical mesh) solve."""
+
+    label: str
+    graph: Graph
+    mesh: LogicalMesh
+
+    @property
+    def bucket(self) -> str:
+        n = len(self.graph)
+        for name, lo, hi in BUCKETS:
+            if lo <= n < hi:
+                return name
+        raise AssertionError(f"no bucket for {n} nodes")
+
+
+def grid_cases(profile: ExperimentProfile | None = None,
+               family: str = "gpt",
+               quick: bool = False) -> list[BenchCase]:
+    """The profile's (slice, logical view) grid on Platform 2."""
+    profile = profile or active_profile()
+    layers = {"gpt": profile.gpt_layers, "moe": profile.moe_layers}[family]
+    model = build_model(benchmark_config(family, layers))
+    clustering = cluster_layers(model, profile.gpt_units if family == "gpt"
+                                else profile.moe_units)
+    profiler = StageProfiler(model,
+                             aggressive_fusion=profile.aggressive_fusion)
+    slices = clustering.all_slices()
+    views: list[LogicalMesh] = []
+    for idx in PLATFORM2.mesh_indices():
+        views.extend(logical_views(PLATFORM2.mesh(idx)))
+    if quick:  # one slice per distinct length, largest meshes only
+        by_len: dict[int, tuple[int, int]] = {}
+        for s, e in slices:
+            by_len.setdefault(e - s, (s, e))
+        slices = sorted(by_len.values())
+        views = views[-2:]
+    cases = []
+    for start, end in slices:
+        graph = profiler.training_graph(start, end)
+        for mesh in views:
+            cases.append(BenchCase(
+                f"{family}[{start}:{end}]@{mesh.dp}x{mesh.mp}", graph, mesh))
+    return cases
+
+
+def _check_identical(case: BenchCase) -> bool:
+    a = optimize_stage(case.graph, case.mesh)
+    b = optimize_stage_reference(case.graph, case.mesh)
+    if a.estimated_time != b.estimated_time:
+        return False
+    for x, y in zip(a.assignments, b.assignments):
+        sx, sy = x.strategy, y.strategy
+        if (sx.out.assignments != sy.out.assignments
+                or tuple(s.assignments for s in sx.ins)
+                != tuple(s.assignments for s in sy.ins)
+                or sx.factor != sy.factor or sx.comm_time != sy.comm_time):
+            return False
+    return True
+
+
+def run_intraop_microbench(profile: ExperimentProfile | None = None,
+                           quick: bool = False,
+                           repeats: int | None = None,
+                           check: bool = True) -> dict:
+    """Run the benchmark and return the ``BENCH_intraop.json`` payload."""
+    profile = profile or active_profile()
+    cases = grid_cases(profile, "gpt", quick=quick)
+    repeats = repeats or (2 if quick else 5)
+
+    identical = True
+    checked = 0
+    if check:
+        for case in cases:
+            identical = identical and _check_identical(case)
+            checked += 1
+    else:  # still warm both solvers' caches before timing
+        for case in cases:
+            optimize_stage(case.graph, case.mesh)
+            optimize_stage_reference(case.graph, case.mesh)
+
+    rec = PerfRecorder()
+    vec_by_case: dict[str, list[float]] = {}
+    ref_by_case: dict[str, list[float]] = {}
+    for case in cases:
+        for _ in range(repeats):
+            with rec.time(f"vec/{case.bucket}"):
+                optimize_stage(case.graph, case.mesh)
+            vec_by_case.setdefault(case.label, []).append(
+                rec.samples[f"vec/{case.bucket}"][-1])
+        for _ in range(max(1, repeats // 2)):
+            with rec.time(f"ref/{case.bucket}"):
+                optimize_stage_reference(case.graph, case.mesh)
+            ref_by_case.setdefault(case.label, []).append(
+                rec.samples[f"ref/{case.bucket}"][-1])
+        rec.count("cases")
+        rec.count(f"cases/{case.bucket}")
+
+    def side(prefix: str, bucket: str | None) -> dict:
+        keys = [k for k in rec.samples
+                if k.startswith(prefix)
+                and (bucket is None or k == f"{prefix}{bucket}")]
+        xs = [s for k in keys for s in rec.samples[k]]
+        return {"ops_per_sec": len(xs) / sum(xs, 0.0),
+                "p50_ms": percentile(xs, 50.0) * 1e3,
+                "p95_ms": percentile(xs, 95.0) * 1e3}
+
+    # speedup from per-case medians so reps and case mix cancel out
+    def median_total(by_case: dict[str, list[float]]) -> float:
+        return sum(percentile(xs, 50.0) for xs in by_case.values())
+
+    buckets = {}
+    for name, _, _ in BUCKETS:
+        n = rec.counters.get(f"cases/{name}", 0)
+        if not n:
+            continue
+        bucket_cases = [c.label for c in cases if c.bucket == name]
+        buckets[name] = {
+            "n_cases": n,
+            "vectorized": side("vec/", name),
+            "reference": side("ref/", name),
+            "speedup": (
+                median_total({k: ref_by_case[k] for k in bucket_cases})
+                / median_total({k: vec_by_case[k] for k in bucket_cases})),
+        }
+
+    vec_total = median_total(vec_by_case)
+    ref_total = median_total(ref_by_case)
+    return {
+        "schema": SCHEMA,
+        "profile": profile.name,
+        "quick": quick,
+        "repeats": repeats,
+        "n_cases": len(cases),
+        "differential": {"checked": checked, "identical": identical},
+        "buckets": buckets,
+        "overall": {
+            "vectorized": side("vec/", None),
+            "reference": side("ref/", None),
+            "vectorized_total_ms": vec_total * 1e3,
+            "reference_total_ms": ref_total * 1e3,
+            "speedup": ref_total / vec_total,
+        },
+    }

@@ -1,0 +1,89 @@
+"""Scoped wall-clock timers and counters with percentile summaries.
+
+A :class:`PerfRecorder` accumulates named timing samples (via the
+``time(name)`` context manager) and event counts (via ``count``); the
+summary reports per-name sample counts, totals, p50/p95 latencies, and
+throughput.  Percentiles use linear interpolation between order
+statistics, matching ``numpy.percentile``'s default without requiring an
+array round-trip for a handful of samples.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """``q``-th percentile (0..100) with linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] + (xs[hi] - xs[lo]) * frac
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of one named timer."""
+
+    n: int
+    total_s: float
+    p50_ms: float
+    p95_ms: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.n / self.total_s if self.total_s > 0 else float("inf")
+
+    def as_dict(self) -> dict:
+        return {"n": self.n, "total_s": self.total_s,
+                "p50_ms": self.p50_ms, "p95_ms": self.p95_ms,
+                "ops_per_sec": self.ops_per_sec}
+
+
+class PerfRecorder:
+    """Accumulates named timing samples and event counters."""
+
+    def __init__(self) -> None:
+        self.samples: dict[str, list[float]] = {}
+        self.counters: dict[str, int] = {}
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager recording one wall-clock sample under ``name``."""
+        t0 = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_sample(name, _time.perf_counter() - t0)
+
+    def add_sample(self, name: str, seconds: float) -> None:
+        self.samples.setdefault(name, []).append(seconds)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def stats(self, name: str) -> TimingStats:
+        xs = self.samples[name]
+        return TimingStats(
+            n=len(xs),
+            total_s=sum(xs, 0.0),
+            p50_ms=percentile(xs, 50.0) * 1e3,
+            p95_ms=percentile(xs, 95.0) * 1e3,
+        )
+
+    def summary(self) -> dict:
+        """JSON-ready view of every timer and counter."""
+        return {
+            "timers": {k: self.stats(k).as_dict() for k in self.samples},
+            "counters": dict(self.counters),
+        }

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..ir.graph import Graph
 from ..parallel.intra_op import IntraOpPlan
-from ..parallel.resharding import reshard_time
+from ..parallel.resharding import reshard_cache
+from ..parallel.sharding import spec_id
 from .noise import measurement_factor
-from .opcost import op_time
+from .opcost import op_time_cached
 
 
 @dataclass(frozen=True)
@@ -47,22 +47,32 @@ TRAIN_STATE_BYTES_PER_PARAM = 16
 
 
 def execute_plan(plan: IntraOpPlan, noise: bool = True) -> StageProfile:
-    """Simulate one execution of ``plan`` and return its profile."""
+    """Simulate one execution of ``plan`` and return its profile.
+
+    Per-node kernel times and per-edge reshard costs are gathered through
+    the memoized cost tables (``op_time_cached``, the per-mesh
+    :class:`~repro.parallel.resharding.ReshardCache`) and reduced with
+    Python's left-to-right ``sum`` — the identical sequence of float adds
+    as a running accumulator, so totals stay bit-identical to the original
+    formulation (the golden ``results/fast`` artifacts pin them).
+    """
     graph, mesh = plan.graph, plan.mesh
     gpu = mesh.gpu
-    compute = 0.0
-    comm = 0.0
-    reshard = 0.0
+    rcache = reshard_cache(mesh)
+    compute_terms: list[float] = []
+    comm_terms: list[float] = []
+    reshard_terms: list[float] = []
     param_bytes = 0.0
     act_bytes = 0.0
 
     for node in graph.nodes:
         assign = plan.assignments[node.id]
         strat = assign.strategy
-        in_specs = [graph.nodes[i].out for i in node.inputs]
         if node.node_type == "operator":
-            compute += op_time(node, in_specs, gpu, float(strat.factor))
-            comm += strat.comm_time
+            in_specs = [graph.nodes[i].out for i in node.inputs]
+            compute_terms.append(
+                op_time_cached(node, in_specs, gpu, float(strat.factor)))
+            comm_terms.append(strat.comm_time)
             is_forward = not (node.name.startswith("grad")
                               or node.name.startswith("adam")
                               or node.name == "loss")
@@ -81,8 +91,12 @@ def execute_plan(plan: IntraOpPlan, noise: bool = True) -> StageProfile:
                 continue
             src = plan.assignments[pid].out_spec
             dst = strat.ins[slot]
-            reshard += reshard_time(src, dst, pnode.out, mesh)
+            reshard_terms.append(
+                rcache.time(spec_id(src), spec_id(dst), pnode.out.nbytes))
 
+    compute = sum(compute_terms, 0.0)
+    comm = sum(comm_terms, 0.0)
+    reshard = sum(reshard_terms, 0.0)
     total = compute + comm + reshard
     if noise:
         total *= measurement_factor(graph.name, mesh.key())

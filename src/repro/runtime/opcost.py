@@ -77,6 +77,64 @@ def op_time(
     return gpu.launch_overhead + max(t_compute, t_memory)
 
 
+# ------------------------------------------------------------- memoization
+
+def _freeze(value):
+    """Hashable view of an operator-params value (defensive on containers)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+def node_cost_key(node: Node, input_specs: Sequence[TensorSpec]) -> tuple:
+    """Structural key covering every input :func:`op_time` reads.
+
+    Two nodes with the same op, output/input shapes+dtypes, and operator
+    params cost the same on a given GPU at a given shard factor — node ids
+    and labels are irrelevant, so structurally identical nodes across
+    stage slices (and across grid cells) share one cached kernel time.
+    """
+    return (node.op, node.out.shape, node.out.dtype.name,
+            tuple((s.shape, s.dtype.name) for s in input_specs),
+            _freeze(node.params))
+
+
+_OP_TIME_CACHE: dict[tuple, float] = {}
+
+
+def op_time_cached(
+    node: Node,
+    input_specs: Sequence[TensorSpec],
+    gpu: GPUSpec,
+    shard_factor: float = 1.0,
+    key: tuple | None = None,
+) -> float:
+    """:func:`op_time` memoized by ``(structural key, gpu, factor)``.
+
+    Callers that evaluate many shard factors for one node should compute
+    :func:`node_cost_key` once and pass it as ``key``.
+    """
+    if node.node_type != "operator":
+        return 0.0
+    if key is None:
+        key = node_cost_key(node, input_specs)
+    ck = (key, gpu, shard_factor)
+    t = _OP_TIME_CACHE.get(ck)
+    if t is None:
+        t = op_time(node, input_specs, gpu, shard_factor)
+        _OP_TIME_CACHE[ck] = t
+    return t
+
+
+def clear_op_time_cache() -> None:
+    """Drop the memo (tests and benchmarks)."""
+    _OP_TIME_CACHE.clear()
+
+
 def graph_flops(graph) -> float:
     """Total FLOPs of a graph executed unsharded (diagnostics)."""
     total = 0.0

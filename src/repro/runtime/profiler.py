@@ -70,26 +70,41 @@ class StageProfiler:
         self.prune = prune
         self.aggressive_fusion = aggressive_fusion
         self._cache: dict[tuple, ProfiledStage] = {}
+        #: traced-and-lowered graphs per ("pred"|"train", start, end, mb);
+        #: tracing + pruning + fusion dominates repeat profiling of one
+        #: slice across meshes, and downstream caches (the intra-op solve
+        #: plans, the plan cache) key on the graph object or its hash, so
+        #: returning the same instance also keeps them warm
+        self._graphs: dict[tuple, Graph] = {}
 
     # ------------------------------------------------------------ graph prep
     def predictor_graph(self, start: int, end: int,
                         microbatch: int | None = None) -> Graph:
         """The stage DAG the predictor consumes: forward, pruned, fused."""
-        g = self.model.stage_graph(start, end, microbatch)
-        if self.prune:
-            g = prune_graph(g)
-        if self.fuse:
-            g, _ = fuse_elementwise(g, self.aggressive_fusion)
+        key = ("pred", start, end, microbatch)
+        g = self._graphs.get(key)
+        if g is None:
+            g = self.model.stage_graph(start, end, microbatch)
+            if self.prune:
+                g = prune_graph(g)
+            if self.fuse:
+                g, _ = fuse_elementwise(g, self.aggressive_fusion)
+            self._graphs[key] = g
         return g
 
     def training_graph(self, start: int, end: int,
                        microbatch: int | None = None) -> Graph:
         """The graph whose execution the profiler times (fwd+bwd+update)."""
-        g = self.model.stage_graph(start, end, microbatch)
-        g = prune_graph(g)
-        g, _ = fuse_elementwise(g, self.aggressive_fusion)
-        return build_training_graph(
-            g, loss_to_scalar=(end == len(self.model.layers)))
+        key = ("train", start, end, microbatch)
+        g = self._graphs.get(key)
+        if g is None:
+            g = self.model.stage_graph(start, end, microbatch)
+            g = prune_graph(g)
+            g, _ = fuse_elementwise(g, self.aggressive_fusion)
+            g = build_training_graph(
+                g, loss_to_scalar=(end == len(self.model.layers)))
+            self._graphs[key] = g
+        return g
 
     # -------------------------------------------------------------- profiling
     def profile_stage(

@@ -136,6 +136,16 @@ class TestProfiler:
         assert "reshape" not in ops
         assert "convert_element_type" not in ops
 
+    def test_traced_graphs_memoized_per_slice(self, tiny_gpt):
+        prof = StageProfiler(tiny_gpt)
+        assert prof.predictor_graph(1, 2) is prof.predictor_graph(1, 2)
+        assert prof.training_graph(1, 2) is prof.training_graph(1, 2)
+        # distinct slices / kinds / microbatches get distinct entries
+        assert prof.predictor_graph(1, 2) is not prof.predictor_graph(0, 2)
+        assert prof.predictor_graph(1, 2) is not prof.training_graph(1, 2)
+        assert prof.training_graph(1, 2, microbatch=2) is not \
+            prof.training_graph(1, 2)
+
     def test_optimal_latency_at_least_as_good_as_any_view(
             self, tiny_gpt_profiler, mesh2):
         best, cfg = tiny_gpt_profiler.optimal_latency(1, 3, mesh2)
