@@ -8,7 +8,10 @@ Commands:
   (optionally persisting the trained predictor);
 * ``search``   — run the plan-search use case with a chosen approach;
 * ``bench``    — regenerate Table V/VI or Fig-10 artifacts through the
-  parallel experiment engine (``--jobs`` / ``REPRO_JOBS`` workers).
+  fault-tolerant experiment engine (``--jobs`` / ``REPRO_JOBS`` workers,
+  ``--timeout`` / ``--retries`` supervision knobs); ``bench report``
+  summarizes the run-manifest journal (attempts, retries, failures,
+  quarantines) of previous runs.
 """
 
 from __future__ import annotations
@@ -102,6 +105,8 @@ def cmd_predict(args) -> int:
             train=TrainConfig(epochs=args.epochs, patience=args.epochs,
                               batch_size=8, lr=2e-3, seed=args.seed),
             seed=args.seed,
+            checkpoint_path=args.checkpoint or None,
+            resume=args.resume,
         ),
         profiler=profiler,
     )
@@ -152,11 +157,27 @@ def cmd_bench(args) -> int:
     from pathlib import Path
 
     from .experiments import run_use_case
-    from .experiments.engine import n_jobs, run_grid
+    from .experiments.engine import n_jobs, run_grid_report
     from .experiments.export import export_mre_grid, export_use_case
+    from .experiments.manifest import read_events, summarize
     from .experiments.profiles import PROFILES, active_profile
     from .experiments.reporting import render_mre_table, render_use_case
     from .predictors.base import PREDICTOR_KINDS
+
+    if args.target == "report":
+        from .experiments.cache import global_cache
+
+        cache = global_cache()
+        if cache.root is None:
+            print("manifest: cache disabled (REPRO_CACHE=off), no journal")
+            return 1
+        print(summarize(read_events(cache.root)))
+        quarantined = cache.quarantined()
+        if quarantined:
+            print("quarantined shards:")
+            for path in quarantined:
+                print(f"  {path}")
+        return 0
 
     profile = PROFILES[args.profile] if args.profile else active_profile()
 
@@ -184,6 +205,7 @@ def cmd_bench(args) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     tables = {"table5": "platform1", "table6": "platform2"}
     targets = tables if args.target == "tables" else {args.target: tables.get(args.target)}
+    failed_cells = 0
 
     for target, platform in targets.items():
         for family in families:
@@ -197,16 +219,26 @@ def cmd_bench(args) -> int:
                 stem = f"fig10_{family}"
                 export_use_case(data, out_dir / f"{stem}.csv")
             else:
-                grid = run_grid(platform, family, profile, PREDICTOR_KINDS,
-                                profile.fractions, jobs=jobs)
+                report = run_grid_report(
+                    platform, family, profile, PREDICTOR_KINDS,
+                    profile.fractions, jobs=jobs,
+                    timeout=args.timeout or None,
+                    retries=args.retries if args.retries >= 0 else None)
+                grid = report.results
                 text = render_mre_table(grid, platform, family,
                                         profile.fractions)
                 stem = f"{target}_{family}"
                 export_mre_grid(grid, out_dir / f"{stem}.csv")
+                if report.failures:
+                    failed_cells += len(report.failures)
+                    text += (f"\n!! {len(report.failures)}/{report.cells} "
+                             f"cells failed after retries "
+                             f"({report.attempts} attempts, mode="
+                             f"{report.mode}); see `repro bench report`")
             (out_dir / f"{stem}.txt").write_text(text + "\n")
             print(f"{text}\n[{stem}: profile={profile.name} "
                   f"jobs={jobs}, saved under {out_dir}]\n")
-    return 0
+    return 2 if failed_cells else 0
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -235,6 +267,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-fraction", type=float, default=0.6)
     p.add_argument("--epochs", type=int, default=60)
     p.add_argument("--save", default="", help="save trained predictor (.npz)")
+    p.add_argument("--checkpoint", default="",
+                   help="persist training state here every epoch (.npz)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume training from --checkpoint if present")
 
     p = sub.add_parser("search", help="plan-search use case (Fig 10)")
     _add_model_args(p)
@@ -247,16 +283,25 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=40)
 
     p = sub.add_parser(
-        "bench", help="regenerate experiment grids via the parallel engine")
+        "bench", help="regenerate experiment grids via the fault-tolerant "
+                      "engine")
     p.add_argument("target",
-                   choices=("table5", "table6", "tables", "usecase", "micro"),
+                   choices=("table5", "table6", "tables", "usecase", "micro",
+                            "report"),
                    help="which artifact to (re)compute (micro: the intra-op "
-                        "DP micro-benchmark -> BENCH_intraop.json)")
+                        "DP micro-benchmark -> BENCH_intraop.json; report: "
+                        "summarize the run-manifest journal)")
     p.add_argument("--quick", action="store_true",
                    help="micro only: reduced case set / repeats (CI smoke)")
     p.add_argument("--family", choices=("gpt", "moe", "both"), default="both")
     p.add_argument("--jobs", type=int, default=0,
                    help="engine workers (0 = REPRO_JOBS / cpu count)")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-cell wall-clock budget in seconds "
+                        "(0 = REPRO_CELL_TIMEOUT / unlimited)")
+    p.add_argument("--retries", type=int, default=-1,
+                   help="retries per failed cell "
+                        "(-1 = REPRO_CELL_RETRIES / 2)")
     p.add_argument("--profile", choices=("smoke", "fast", "paper"),
                    default="", help="experiment profile (default: "
                    "REPRO_PROFILE or fast)")

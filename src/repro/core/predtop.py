@@ -42,6 +42,11 @@ class PredTOPConfig:
     val_fraction: float = 0.1
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
+    #: persist training state here after every epoch (atomic ``.npz``);
+    #: with ``resume`` set, an interrupted training phase picks up from
+    #: the checkpoint and reproduces the uninterrupted run bit-for-bit
+    checkpoint_path: str | None = None
+    resume: bool = False
 
 
 @dataclass
@@ -143,7 +148,10 @@ class PredTOP:
         train = [samples[i] for i in order[n_val:]]
         self.predictor = LatencyPredictor(self.config.predictor_kind,
                                           seed=self.config.seed)
-        result = self.predictor.fit(train, val, self.config.train)
+        result = self.predictor.fit(
+            train, val, self.config.train,
+            checkpoint_path=self.config.checkpoint_path,
+            resume=self.config.resume)
         self.costs.training_seconds += result.wall_seconds
         return self.predictor
 

@@ -2,8 +2,18 @@
 
 from .cache import ResultsCache, global_cache
 from .corpus import BenchmarkSetup, benchmark_setup, corpus_summary, stage_corpus
-from .engine import n_jobs, parallel_map, run_grid
+from .engine import (
+    CellFailure,
+    GridRunReport,
+    MapOutcome,
+    n_jobs,
+    parallel_map,
+    run_grid,
+    run_grid_report,
+    supervised_map,
+)
 from .figures import UseCaseResult, random_plan_latencies, run_use_case
+from .manifest import append_event, manifest_path, read_events, summarize
 from .profiles import FAST, PAPER, PROFILES, SMOKE, ExperimentProfile, active_profile
 from .reporting import render_mre_table, render_stats, render_use_case
 from .scenarios import Scenario, all_scenarios, scenario_grid
@@ -23,5 +33,7 @@ __all__ = [
     "random_plan_latencies", "run_use_case", "UseCaseResult",
     "render_mre_table", "render_stats", "render_use_case",
     "ResultsCache", "global_cache",
-    "n_jobs", "parallel_map", "run_grid",
+    "n_jobs", "parallel_map", "run_grid", "run_grid_report",
+    "supervised_map", "MapOutcome", "GridRunReport", "CellFailure",
+    "append_event", "manifest_path", "read_events", "summarize",
 ]

@@ -1,37 +1,56 @@
-"""Parallel experiment engine: fan the evaluation grid across processes.
+"""Fault-tolerant parallel experiment engine.
 
 The Table V/VI grids — (scenario × fraction × predictor) cells, each one
 an independent numpy predictor-training run — dominate benchmark wall
 time and are embarrassingly parallel, the same structure Alpa exploits
-when it profiles stages across the device grid.  This module provides:
+when it profiles stages across the device grid.  Alpa-style measurement
+campaigns also *fail* routinely (OOM kills, hangs, infeasible configs),
+so the engine is built to absorb cell failures rather than die on them.
+This module provides:
 
 * :func:`n_jobs` — the worker count, from ``REPRO_JOBS`` (default
   ``os.cpu_count()``); ``REPRO_JOBS=1`` preserves the serial path
   exactly;
 * :func:`parallel_map` — ordered map over a fork-based process pool,
-  falling back to a plain loop when one worker (or one item) makes a
-  pool pointless;
-* :func:`run_grid` — the Table V/VI cell grid through the pool.
+  degrading to the plain serial loop (with a warning) when a pool
+  cannot be created;
+* :func:`supervised_map` — the fault-tolerant map: one forked worker
+  process per item, per-cell timeouts (``REPRO_CELL_TIMEOUT``), bounded
+  retries with exponential backoff (``REPRO_CELL_RETRIES`` /
+  ``REPRO_RETRY_BACKOFF``), dead-worker detection with resubmission,
+  and partial-failure accounting — the map returns completed results
+  plus structured :class:`CellFailure` records instead of raising;
+* :func:`run_grid` / :func:`run_grid_report` — the Table V/VI cell grid
+  through the supervisor, journaled to the run manifest
+  (``.repro_cache/manifest.jsonl``).
 
 Determinism: every cell derives its seed from the experiment profile
-alone (never from worker identity or completion order), each worker
-process computes cells independently, and ``parallel_map`` returns
-results in submission order — so a parallel run is bit-identical to the
-serial one for everything except wall-clock bookkeeping.  Workers share
-results through the sharded on-disk cache
-(:mod:`repro.experiments.cache`), which tolerates concurrent writers.
+alone (never from worker identity, completion order, or — critically —
+the *attempt number*), so a cell that crashed, hung, or errored and was
+retried produces bit-identical results to a clean first-try run, and a
+faulted parallel run is bit-identical to a fault-free serial one.
+Workers share results through the sharded on-disk cache
+(:mod:`repro.experiments.cache`), which tolerates concurrent writers,
+checksums its shards, and quarantines corruption.
 
 Nested parallelism is suppressed: code running inside an engine worker
 sees ``n_jobs() == 1``, so a parallel grid never forks a second tier of
-pools.
+pools.  Deterministic chaos testing hooks into the worker bootstrap and
+the serial loop via :mod:`repro.faults` (``REPRO_FAULTS``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from .. import faults
+from .manifest import append_event
 from .profiles import ExperimentProfile
 from .scenarios import Scenario, scenario_grid
 
@@ -45,6 +64,10 @@ _IN_WORKER = False
 #: fork so children inherit it by memory copy rather than by pickling
 #: (lets parallel_map accept closures and bound methods)
 _WORKER_FN: Callable[[Any], Any] | None = None
+
+#: consecutive process-spawn failures before the supervisor declares the
+#: pool unhealthy and degrades to the serial path
+_MAX_SPAWN_FAILURES = 3
 
 
 def n_jobs(default: int | None = None) -> int:
@@ -62,9 +85,37 @@ def n_jobs(default: int | None = None) -> int:
     return os.cpu_count() or 1
 
 
+def _env_float(name: str, default: float) -> float:
+    env = os.environ.get(name, "")
+    if not env:
+        return default
+    try:
+        return float(env)
+    except ValueError:
+        raise ValueError(f"{name}={env!r} is not a number") from None
+
+
+def cell_timeout() -> float:
+    """Per-cell wall-clock budget from ``REPRO_CELL_TIMEOUT`` (seconds;
+    0 = unlimited, the default)."""
+    return max(0.0, _env_float("REPRO_CELL_TIMEOUT", 0.0))
+
+
+def cell_retries() -> int:
+    """Retries per failed cell from ``REPRO_CELL_RETRIES`` (default 2)."""
+    return max(0, int(_env_float("REPRO_CELL_RETRIES", 2)))
+
+
+def retry_backoff() -> float:
+    """Base retry delay from ``REPRO_RETRY_BACKOFF`` (seconds, default
+    0.05); attempt ``k`` waits ``backoff * 2**(k-1)``."""
+    return max(0.0, _env_float("REPRO_RETRY_BACKOFF", 0.05))
+
+
 def _init_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
+    faults.mark_worker()
 
 
 def _invoke(item: Any) -> Any:
@@ -80,7 +131,9 @@ def parallel_map(
     """``[fn(x) for x in items]`` over a process pool, order preserved.
 
     Serial (and pool-free) when ``jobs`` resolves to 1, when there are
-    fewer than two items, or when the platform cannot fork.  Items and
+    fewer than two items, or when the platform cannot fork; if creating
+    the pool itself fails (fd exhaustion, fork limits), the map degrades
+    to the serial loop with a warning instead of raising.  Items and
     results cross the process boundary by pickling; ``fn`` itself does
     not — it is inherited through the fork — so closures over live
     objects (profilers, searchers) are fine.
@@ -98,10 +151,304 @@ def parallel_map(
     prev = _WORKER_FN
     _WORKER_FN = fn
     try:
-        with ctx.Pool(jobs, initializer=_init_worker) as pool:
+        try:
+            pool = ctx.Pool(jobs, initializer=_init_worker)
+        except OSError as exc:
+            warnings.warn(f"process pool unavailable ({exc}); "
+                          f"running {len(items)} items serially", stacklevel=2)
+            return [fn(x) for x in items]
+        with pool:
             return pool.map(_invoke, items)
     finally:
         _WORKER_FN = prev
+
+
+# --------------------------------------------------------- fault supervision
+@dataclass(frozen=True)
+class CellFailure:
+    """One item that exhausted its retries (or one failed attempt)."""
+
+    index: int
+    label: str
+    attempts: int
+    #: ``crash`` (worker died), ``timeout`` (killed past deadline), or
+    #: ``exception`` (the cell raised)
+    failure_class: str
+    detail: str
+
+
+@dataclass
+class MapOutcome:
+    """What :func:`supervised_map` observed: results + failure accounting."""
+
+    #: in submission order; ``None`` where the item exhausted retries
+    results: list[Any]
+    failures: list[CellFailure] = field(default_factory=list)
+    attempts: int = 0
+    #: ``parallel``, ``serial``, or ``degraded`` (parallel → serial mid-run)
+    mode: str = "parallel"
+
+
+class _Task:
+    """Supervisor bookkeeping for one in-flight attempt."""
+
+    __slots__ = ("index", "attempt", "proc", "conn", "deadline")
+
+    def __init__(self, index, attempt, proc, conn, deadline):
+        self.index = index
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+
+
+def _supervised_child(conn, index: int, attempt: int, item: Any) -> None:
+    """Worker body: one forked process per attempt.
+
+    Exits via ``os._exit`` so a child never runs the parent's cleanup
+    handlers; an abrupt death (real or injected) reaches the supervisor
+    as pipe-EOF + nonzero exit status, exactly like an OOM kill.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    faults.mark_worker()
+    try:
+        faults.fire("worker_crash", index, attempt)
+        faults.fire("cell_hang", index, attempt)
+        result = _invoke(item)
+        conn.send(("ok", result))
+        conn.close()
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+        except Exception:
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+def _serial_supervised(
+    fn: Callable[[T], Any],
+    items: list[T],
+    outcome: MapOutcome,
+    todo: list[int],
+    retries: int,
+    backoff: float,
+    labels: Sequence[str],
+    manifest_root,
+    run_id: str,
+) -> MapOutcome:
+    """The in-process fallback: same retry/accounting contract, no forks.
+
+    Timeouts are unenforceable without a subprocess to kill, so a
+    ``cell_hang`` fault here simply sleeps its ``secs`` — keep them
+    short in serial chaos runs.
+    """
+    for index in todo:
+        for attempt in range(retries + 1):
+            outcome.attempts += 1
+            append_event(manifest_root, "cell_attempt", run=run_id,
+                         index=index, label=labels[index], attempt=attempt,
+                         mode="serial")
+            try:
+                faults.fire("worker_crash", index, attempt)
+                faults.fire("cell_hang", index, attempt)
+                outcome.results[index] = fn(items[index])
+            except Exception as exc:  # noqa: BLE001 - absorbed per contract
+                detail = f"{type(exc).__name__}: {exc}"
+                if attempt < retries:
+                    append_event(manifest_root, "cell_retry", run=run_id,
+                                 index=index, label=labels[index],
+                                 attempt=attempt, detail=detail)
+                    time.sleep(backoff * (2 ** attempt))
+                    continue
+                outcome.failures.append(CellFailure(
+                    index, labels[index], attempt + 1, "exception", detail))
+                append_event(manifest_root, "cell_failed", run=run_id,
+                             index=index, label=labels[index],
+                             attempts=attempt + 1, **{"class": "exception"},
+                             detail=detail)
+            else:
+                append_event(manifest_root, "cell_done", run=run_id,
+                             index=index, label=labels[index],
+                             attempt=attempt)
+            break
+    return outcome
+
+
+def supervised_map(
+    fn: Callable[[T], Any],
+    items: Iterable[T],
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    labels: Sequence[str] | None = None,
+    manifest_root=None,
+    run_id: str = "",
+) -> MapOutcome:
+    """Ordered map with supervision: crashes, hangs, and exceptions in
+    ``fn`` cost retries, not the run.
+
+    Each attempt runs in its own forked process (``fn`` crosses by
+    memory inheritance, the result by pickling).  A worker that dies
+    (``crash``), exceeds ``timeout`` seconds (``timeout``; killed), or
+    raises (``exception``) is resubmitted up to ``retries`` times with
+    exponential backoff; an item that exhausts its retries yields
+    ``None`` in ``results`` plus a :class:`CellFailure`, and every
+    attempt is journaled to the manifest under ``manifest_root``.  If
+    process spawning itself keeps failing the supervisor declares the
+    pool unhealthy and finishes the remaining items serially
+    (``mode="degraded"``).
+    """
+    global _WORKER_FN
+    items = list(items)
+    n = len(items)
+    jobs = n_jobs() if jobs is None else max(1, jobs)
+    jobs = min(jobs, max(1, n))
+    timeout = cell_timeout() if timeout is None else max(0.0, timeout)
+    retries = cell_retries() if retries is None else max(0, retries)
+    backoff = retry_backoff() if backoff is None else max(0.0, backoff)
+    labels = list(labels) if labels is not None else [f"item{i}" for i in range(n)]
+    outcome = MapOutcome(results=[None] * n)
+
+    try:
+        ctx = multiprocessing.get_context("fork") if jobs > 1 else None
+    except ValueError:  # pragma: no cover - non-POSIX
+        ctx = None
+    if ctx is None or n < 2:
+        outcome.mode = "serial"
+        return _serial_supervised(fn, items, outcome, list(range(n)),
+                                  retries, backoff, labels, manifest_root,
+                                  run_id)
+
+    prev = _WORKER_FN
+    _WORKER_FN = fn
+    pending: list[tuple[int, int]] = [(i, 0) for i in range(n)]
+    eligible_at: dict[int, float] = {}
+    running: dict[int, _Task] = {}
+    spawn_failures = 0
+    degraded = False
+
+    def _finish_attempt(task: _Task, failure_class: str, detail: str) -> None:
+        """Failed attempt: schedule a retry or record the final failure."""
+        if task.attempt < retries:
+            delay = backoff * (2 ** task.attempt)
+            eligible_at[task.index] = time.monotonic() + delay
+            pending.append((task.index, task.attempt + 1))
+            append_event(manifest_root, "cell_retry", run=run_id,
+                         index=task.index, label=labels[task.index],
+                         attempt=task.attempt, **{"class": failure_class},
+                         detail=detail)
+        else:
+            outcome.failures.append(CellFailure(
+                task.index, labels[task.index], task.attempt + 1,
+                failure_class, detail))
+            append_event(manifest_root, "cell_failed", run=run_id,
+                         index=task.index, label=labels[task.index],
+                         attempts=task.attempt + 1,
+                         **{"class": failure_class}, detail=detail)
+
+    def _reap(task: _Task) -> None:
+        task.conn.close()
+        task.proc.join(timeout=5.0)
+        if task.proc.is_alive():  # pragma: no cover - stuck in kernel
+            task.proc.kill()
+            task.proc.join()
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            # launch every eligible pending attempt into a free slot
+            launchable = [pa for pa in pending
+                          if eligible_at.get(pa[0], 0.0) <= now]
+            for index, attempt in launchable:
+                if len(running) >= jobs:
+                    break
+                pending.remove((index, attempt))
+                try:
+                    recv_conn, send_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_supervised_child,
+                        args=(send_conn, index, attempt, items[index]))
+                    proc.start()
+                    send_conn.close()
+                except OSError as exc:
+                    spawn_failures += 1
+                    pending.append((index, attempt))
+                    if spawn_failures >= _MAX_SPAWN_FAILURES:
+                        warnings.warn(
+                            f"worker pool unhealthy ({exc}); degrading to "
+                            f"the serial path for the remaining cells",
+                            stacklevel=2)
+                        degraded = True
+                        break
+                    time.sleep(0.05 * spawn_failures)
+                    continue
+                spawn_failures = 0
+                outcome.attempts += 1
+                append_event(manifest_root, "cell_attempt", run=run_id,
+                             index=index, label=labels[index],
+                             attempt=attempt, worker=proc.pid)
+                deadline = now + timeout if timeout > 0 else float("inf")
+                running[index] = _Task(index, attempt, proc, recv_conn,
+                                       deadline)
+            if degraded:
+                break
+            if not running:
+                # every pending attempt is in its backoff window
+                next_at = min(eligible_at.get(i, 0.0) for i, _ in pending)
+                time.sleep(max(0.0, min(next_at - time.monotonic(), 0.5)))
+                continue
+
+            # wait for results, worker deaths (pipe EOF), or a deadline
+            next_deadline = min(t.deadline for t in running.values())
+            wait_for = min(max(0.0, next_deadline - time.monotonic()), 0.5)
+            ready = _conn_wait([t.conn for t in running.values()],
+                               timeout=wait_for)
+            ready_set = set(ready)
+            for task in [t for t in running.values() if t.conn in ready_set]:
+                del running[task.index]
+                try:
+                    status, payload = task.conn.recv()
+                except (EOFError, OSError):
+                    # pipe closed with no message: the worker died abruptly
+                    _reap(task)
+                    code = task.proc.exitcode
+                    _finish_attempt(task, "crash",
+                                    f"worker died with exit code {code}")
+                    continue
+                _reap(task)
+                if status == "ok":
+                    outcome.results[task.index] = payload
+                    append_event(manifest_root, "cell_done", run=run_id,
+                                 index=task.index, label=labels[task.index],
+                                 attempt=task.attempt)
+                else:
+                    _finish_attempt(task, "exception", str(payload))
+            # enforce deadlines on whatever is still running
+            now = time.monotonic()
+            for task in [t for t in running.values() if t.deadline <= now]:
+                del running[task.index]
+                task.proc.terminate()
+                _reap(task)
+                _finish_attempt(
+                    task, "timeout",
+                    f"cell exceeded {timeout:.1f}s; worker killed")
+    finally:
+        _WORKER_FN = prev
+        for task in running.values():  # pragma: no cover - abnormal exit
+            task.proc.terminate()
+            task.conn.close()
+            task.proc.join(timeout=5.0)
+
+    if degraded:
+        outcome.mode = "degraded"
+        todo = sorted({index for index, _ in pending})
+        return _serial_supervised(fn, items, outcome, todo, retries,
+                                  backoff, labels, manifest_root, run_id)
+    return outcome
 
 
 # --------------------------------------------------------------- grid engine
@@ -127,6 +474,84 @@ def _run_one_cell(task: tuple) -> tuple:
             cell.epochs_run, cell.train_seconds)
 
 
+@dataclass
+class GridRunReport:
+    """Completed cells plus the structured failure report of one grid run."""
+
+    results: dict[tuple[str, float, str], float]
+    failures: list[CellFailure]
+    cells: int
+    attempts: int
+    wall_seconds: float
+    mode: str
+
+    @property
+    def completed(self) -> int:
+        return self.cells - len(self.failures)
+
+
+def run_grid_report(
+    platform_name: str,
+    family: str,
+    profile: ExperimentProfile,
+    kinds: Sequence[str],
+    fractions: Sequence[float],
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+) -> GridRunReport:
+    """One full Table V/VI half under supervision.
+
+    Never raises on cell failures: completed cells land in ``results``
+    (``{(scenario, fraction, kind): MRE%}``), cells that exhausted their
+    retries are listed in ``failures``, and every attempt is journaled
+    to the cache root's ``manifest.jsonl``.
+    """
+    import numpy as np
+
+    from .cache import global_cache
+
+    cells = grid_cells(platform_name, kinds, fractions)
+    tasks = [(family, scenario, fraction, kind, profile)
+             for (scenario, fraction, kind) in cells]
+    labels = [f"{platform_name}/{family}/{scenario.key}/f{fraction:.2f}/{kind}"
+              for (scenario, fraction, kind) in cells]
+    jobs = n_jobs() if jobs is None else max(1, jobs)
+    cache = global_cache()
+    if cache.root is not None:
+        cache.reap_stale()
+    run_id = f"{platform_name}-{family}-{profile.name}-{os.getpid()}"
+    append_event(cache.root, "grid_start", run=run_id, cells=len(cells),
+                 jobs=jobs)
+    if jobs > 1:
+        # profile the stage corpora once in the parent (cheap relative to
+        # training) so every forked worker inherits them copy-on-write
+        # instead of redundantly re-profiling per process
+        from .corpus import stage_corpus
+
+        for scenario in {scenario for (scenario, _, _) in cells}:
+            stage_corpus(family, scenario, profile)
+    start = time.perf_counter()
+    outcome = supervised_map(_run_one_cell, tasks, jobs, timeout=timeout,
+                             retries=retries, labels=labels,
+                             manifest_root=cache.root, run_id=run_id)
+    out: dict[tuple[str, float, str], float] = {}
+    for row in outcome.results:
+        if row is None:
+            continue
+        (scenario_key, fraction, kind, mre, _epochs, _secs) = row
+        if not np.isnan(mre):
+            out[(scenario_key, fraction, kind)] = mre
+    report = GridRunReport(out, outcome.failures, len(cells),
+                           outcome.attempts,
+                           time.perf_counter() - start, outcome.mode)
+    append_event(cache.root, "grid_done", run=run_id,
+                 completed=report.completed, failed=len(report.failures),
+                 attempts=report.attempts, mode=report.mode,
+                 wall_seconds=round(report.wall_seconds, 3))
+    return report
+
+
 def run_grid(
     platform_name: str,
     family: str,
@@ -137,28 +562,20 @@ def run_grid(
 ) -> dict[tuple[str, float, str], float]:
     """One full Table V/VI half: ``{(scenario, fraction, kind): MRE%}``.
 
-    With ``jobs == 1`` this is exactly the legacy serial loop; with more
-    workers the cells fan out across processes and land in the shared
-    sharded cache, so a subsequent serial pass (or figure aggregation)
-    sees the identical numbers.
+    Back-compat wrapper over :func:`run_grid_report`: with ``jobs == 1``
+    the cells run in-process exactly as the legacy serial loop did; with
+    more workers they fan out under the supervisor and land in the
+    shared sharded cache, so a subsequent serial pass (or figure
+    aggregation) sees the identical numbers.  Cells that exhausted their
+    retries are reported with a warning and omitted from the dict.
     """
-    import numpy as np
-
-    cells = grid_cells(platform_name, kinds, fractions)
-    tasks = [(family, scenario, fraction, kind, profile)
-             for (scenario, fraction, kind) in cells]
-    jobs = n_jobs() if jobs is None else max(1, jobs)
-    if jobs > 1:
-        # profile the stage corpora once in the parent (cheap relative to
-        # training) so every forked worker inherits them copy-on-write
-        # instead of redundantly re-profiling per process
-        from .corpus import stage_corpus
-
-        for scenario in {scenario for (scenario, _, _) in cells}:
-            stage_corpus(family, scenario, profile)
-    results = parallel_map(_run_one_cell, tasks, jobs)
-    out: dict[tuple[str, float, str], float] = {}
-    for (scenario_key, fraction, kind, mre, _epochs, _secs) in results:
-        if not np.isnan(mre):
-            out[(scenario_key, fraction, kind)] = mre
-    return out
+    report = run_grid_report(platform_name, family, profile, kinds,
+                             fractions, jobs)
+    if report.failures:
+        warnings.warn(
+            f"{len(report.failures)}/{report.cells} grid cells failed after "
+            f"retries: "
+            + ", ".join(f.label for f in report.failures[:5])
+            + ("…" if len(report.failures) > 5 else ""),
+            stacklevel=2)
+    return report.results

@@ -1,0 +1,101 @@
+"""Run-manifest journal: append-only observability for chaos runs.
+
+Every supervised grid run journals its cell attempts, failures, retries,
+cache-shard quarantines, and final accounting to
+``<cache root>/manifest.jsonl`` — one JSON object per line, appended
+with a single ``O_APPEND`` write so concurrent workers never interleave
+partial lines (events are far below ``PIPE_BUF``).  The journal is the
+flight recorder the acceptance criteria read back: which cells faulted,
+with what failure class, and how many attempts each took.
+
+Surfaced via ``python -m repro bench report``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+MANIFEST_NAME = "manifest.jsonl"
+
+
+def manifest_path(root: str | os.PathLike) -> Path:
+    return Path(root) / MANIFEST_NAME
+
+
+def append_event(root: str | os.PathLike | None, event: str,
+                 **fields: Any) -> None:
+    """Append one journal line under ``root`` (no-op when root is None).
+
+    Journaling must never take down the run it is observing, so IO
+    errors are swallowed.
+    """
+    if root is None:
+        return
+    record = {"ts": round(time.time(), 3), "pid": os.getpid(),
+              "event": event, **fields}
+    line = json.dumps(record, sort_keys=True) + "\n"
+    try:
+        path = manifest_path(root)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+    except OSError:
+        pass
+
+
+def read_events(root: str | os.PathLike) -> list[dict]:
+    """All parseable journal lines under ``root`` (oldest first)."""
+    path = manifest_path(root)
+    events: list[dict] = []
+    try:
+        text = path.read_text()
+    except OSError:
+        return events
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn trailing line from a killed writer
+        if isinstance(record, dict):
+            events.append(record)
+    return events
+
+
+def summarize(events: list[dict]) -> str:
+    """Human-readable report of a journal (for ``repro bench report``)."""
+    if not events:
+        return "manifest: no events recorded"
+    by_event = Counter(e.get("event", "?") for e in events)
+    classes = Counter(e.get("class", "?") for e in events
+                      if e.get("event") == "cell_failed")
+    retries = sum(1 for e in events
+                  if e.get("event") == "cell_attempt"
+                  and int(e.get("attempt", 0)) > 0)
+    runs = {e.get("run") for e in events if e.get("run")}
+    lines = [f"manifest: {len(events)} events across {len(runs)} run(s)"]
+    for name in sorted(by_event):
+        lines.append(f"  {name:<18s} {by_event[name]}")
+    if retries:
+        lines.append(f"  (retried attempts: {retries})")
+    if classes:
+        lines.append("failure classes:")
+        for name in sorted(classes):
+            lines.append(f"  {name:<18s} {classes[name]}")
+    failed = [e for e in events if e.get("event") == "cell_failed"]
+    if failed:
+        lines.append("failed cells (exhausted retries):")
+        for e in failed[-20:]:
+            lines.append(f"  {e.get('label', e.get('index', '?'))}: "
+                         f"{e.get('class', '?')} — {e.get('detail', '')}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Deterministic fault-injection harness (``REPRO_FAULTS``).
+
+Chaos testing for the experiment engine, the results cache, and the
+predictor trainer: seeded, reproducible injection of worker crashes,
+cell hangs, transient IO errors, shard corruption, and training
+divergence.  See :mod:`repro.faults.spec` for the grammar and
+:mod:`repro.faults.inject` for the injection points' behavior.
+"""
+
+from .inject import (
+    ENV_VAR,
+    InjectedFault,
+    active_plan,
+    check,
+    corrupt_file,
+    faults_active,
+    fire,
+    mark_worker,
+)
+from .spec import CRASH_EXIT_CODE, SITES, FaultRule, FaultSpecError, parse_faults
+
+__all__ = [
+    "ENV_VAR", "SITES", "CRASH_EXIT_CODE",
+    "FaultRule", "FaultSpecError", "parse_faults",
+    "InjectedFault", "active_plan", "faults_active",
+    "check", "fire", "corrupt_file", "mark_worker",
+]

@@ -1,0 +1,106 @@
+"""Deterministic fault injection driven by ``REPRO_FAULTS``.
+
+The harness calls :func:`check` ("would a fault fire here?") or
+:func:`fire` ("fire it, with the site's built-in behavior") at a handful
+of injection points; with no plan configured both are near-free no-ops,
+so the points stay compiled into production paths.
+
+Behaviors of :func:`fire`:
+
+* ``worker_crash`` — inside an engine worker process the whole process
+  dies via ``os._exit`` (no exception crosses the pipe, exactly like a
+  segfault or OOM kill); on the serial path it raises
+  :class:`InjectedFault` instead so the caller's retry loop sees a
+  normal exception;
+* ``cell_hang`` — sleeps the rule's ``secs`` so a supervisor timeout
+  must reclaim the worker;
+* ``io_error`` — raises ``OSError`` (transient, absorbed by bounded
+  write retries);
+* ``shard_corrupt`` / ``train_diverge`` — decision-only sites: callers
+  use :func:`check` and apply the damage themselves
+  (:func:`corrupt_file`, a NaN loss).
+
+Plans are parsed once per distinct ``REPRO_FAULTS`` value and decisions
+are pure functions of ``(rule, index, attempt)``, so parent, forked
+workers, and a rerun of the same command all agree on exactly which
+attempts fault.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from .spec import CRASH_EXIT_CODE, FaultRule, parse_faults
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: parse cache: {spec string: rules}
+_PLANS: dict[str, tuple[FaultRule, ...]] = {"": ()}
+
+#: set in engine worker processes so ``worker_crash`` hard-kills there
+_IN_WORKER = False
+
+
+class InjectedFault(RuntimeError):
+    """An injected fault surfacing as an in-process exception."""
+
+
+def mark_worker(flag: bool = True) -> None:
+    """Tell the injector it is running inside an engine worker process."""
+    global _IN_WORKER
+    _IN_WORKER = flag
+
+
+def active_plan() -> tuple[FaultRule, ...]:
+    """The parsed rules for the current ``REPRO_FAULTS`` value."""
+    spec = os.environ.get(ENV_VAR, "")
+    plan = _PLANS.get(spec)
+    if plan is None:
+        plan = _PLANS[spec] = parse_faults(spec)
+    return plan
+
+
+def faults_active() -> bool:
+    return bool(active_plan())
+
+
+def check(site: str, index: int, attempt: int = 0) -> FaultRule | None:
+    """The first rule firing at ``(site, index, attempt)``, or ``None``."""
+    for rule in active_plan():
+        if rule.site == site and rule.fires(index, attempt):
+            return rule
+    return None
+
+
+def fire(site: str, index: int, attempt: int = 0) -> None:
+    """Consult the plan and perform the site's built-in fault behavior."""
+    rule = check(site, index, attempt)
+    if rule is None:
+        return
+    if site == "worker_crash":
+        if _IN_WORKER:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault(
+            f"injected worker_crash at index {index} attempt {attempt}")
+    if site == "cell_hang":
+        time.sleep(rule.secs)
+        return
+    if site == "io_error":
+        raise OSError(
+            f"injected transient io_error at index {index} attempt {attempt}")
+    raise InjectedFault(f"site {site!r} is decision-only; use check()")
+
+
+def corrupt_file(path: os.PathLike | str) -> None:
+    """Scribble over ``path`` in place (simulated torn write / bitrot).
+
+    The damage keeps the file non-empty but breaks both JSON framing and
+    any content checksum, so readers must detect — not mask — it.
+    """
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.write(b'\xde\xad{"corrupt')
+        fh.truncate(max(12, size // 2))
+        fh.flush()
+        os.fsync(fh.fileno())

@@ -1,0 +1,139 @@
+"""Fault-rule grammar for ``REPRO_FAULTS``.
+
+A fault plan is a ``;``-separated list of rules, each naming one
+injection *site* plus optional ``key=value`` parameters::
+
+    REPRO_FAULTS="worker_crash:at=1;cell_hang:at=3,secs=30;io_error:p=0.5,seed=7"
+
+Sites (where the harness consults the plan):
+
+``worker_crash``   an engine worker dies abruptly (``os._exit``) before
+                   computing its cell — or raises in the serial path;
+``cell_hang``      the worker sleeps ``secs`` (default 3600) so the
+                   supervisor's per-cell timeout must kill it;
+``io_error``       a transient ``OSError`` on a results-cache shard
+                   write (the cache's bounded write retry absorbs it);
+``shard_corrupt``  the just-published shard file is scribbled over,
+                   exercising checksum quarantine on the next read;
+``train_diverge``  the training loss of one epoch becomes NaN,
+                   exercising the trainer's divergence guard.
+
+Common parameters:
+
+``at``        ``|``-separated indices the rule covers (cell index for the
+              engine sites, shard number for the cache sites, epoch for
+              ``train_diverge``); omitted = every index;
+``attempts``  ``|``-separated attempt numbers the rule fires on
+              (default ``0`` — only the first try, so retries succeed);
+              ``*`` = every attempt;
+``p``         firing probability in [0, 1], decided by a deterministic
+              hash of ``(seed, site, index, attempt)`` (default 1);
+``seed``      integer feeding that hash (default 0);
+``secs``      ``cell_hang`` only: how long the hang sleeps.
+
+Every decision is a pure function of the rule and the ``(index,
+attempt)`` coordinates — no wall clock, no shared counters — so a chaos
+run is exactly reproducible across processes and reruns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+SITES = ("worker_crash", "cell_hang", "io_error", "shard_corrupt",
+         "train_diverge")
+
+#: exit status an injected worker crash dies with (visible in manifests)
+CRASH_EXIT_CODE = 73
+
+
+class FaultSpecError(ValueError):
+    """Malformed ``REPRO_FAULTS`` string."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed rule of a fault plan."""
+
+    site: str
+    #: indices covered (None = all)
+    at: frozenset[int] | None = None
+    #: attempt numbers the rule fires on (None = all)
+    attempts: frozenset[int] | None = field(default_factory=lambda: frozenset({0}))
+    p: float = 1.0
+    seed: int = 0
+    #: hang duration for ``cell_hang``
+    secs: float = 3600.0
+
+    def fires(self, index: int, attempt: int = 0) -> bool:
+        """Deterministic: does this rule fire at ``(index, attempt)``?"""
+        if self.at is not None and index not in self.at:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.p >= 1.0:
+            return True
+        draw = _unit_hash(f"{self.seed}/{self.site}/{index}/{attempt}")
+        return draw < self.p
+
+
+def _unit_hash(token: str) -> float:
+    """Stable hash of ``token`` into [0, 1)."""
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _int_set(text: str, key: str) -> frozenset[int]:
+    try:
+        return frozenset(int(part) for part in text.split("|") if part != "")
+    except ValueError:
+        raise FaultSpecError(f"{key}={text!r} is not a |-separated int list"
+                             ) from None
+
+
+def parse_faults(spec: str) -> tuple[FaultRule, ...]:
+    """Parse a ``REPRO_FAULTS`` string into rules (empty string = none)."""
+    rules: list[FaultRule] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        site, _, params = chunk.partition(":")
+        site = site.strip()
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r}; known: {', '.join(SITES)}")
+        kwargs: dict = {}
+        for pair in filter(None, (p.strip() for p in params.split(","))):
+            key, eq, value = pair.partition("=")
+            if not eq:
+                raise FaultSpecError(f"expected key=value, got {pair!r}")
+            key = key.strip()
+            value = value.strip()
+            if key == "at":
+                kwargs["at"] = _int_set(value, "at")
+            elif key == "attempts":
+                kwargs["attempts"] = (None if value == "*"
+                                      else _int_set(value, "attempts"))
+            elif key == "p":
+                try:
+                    kwargs["p"] = float(value)
+                except ValueError:
+                    raise FaultSpecError(f"p={value!r} is not a float") from None
+                if not 0.0 <= kwargs["p"] <= 1.0:
+                    raise FaultSpecError(f"p={value} outside [0, 1]")
+            elif key == "seed":
+                try:
+                    kwargs["seed"] = int(value)
+                except ValueError:
+                    raise FaultSpecError(f"seed={value!r} is not an int") from None
+            elif key == "secs":
+                try:
+                    kwargs["secs"] = float(value)
+                except ValueError:
+                    raise FaultSpecError(f"secs={value!r} is not a float") from None
+            else:
+                raise FaultSpecError(f"unknown fault parameter {key!r}")
+        rules.append(FaultRule(site=site, **kwargs))
+    return tuple(rules)

@@ -55,14 +55,26 @@ class LatencyPredictor:
         train: list[StageSample],
         val: list[StageSample],
         cfg: TrainConfig | None = None,
+        *,
+        checkpoint_path=None,
+        resume: bool = False,
     ) -> TrainResult:
-        """Train from scratch on the given splits."""
+        """Train from scratch on the given splits.
+
+        ``checkpoint_path`` / ``resume`` pass through to
+        :func:`repro.predictors.trainer.train_model`: an interrupted fit
+        resumed from its checkpoint reproduces the uninterrupted one
+        bit-for-bit (model construction and normalizer fitting are
+        deterministic in the seed).
+        """
         self.normalizer = Normalizer.fit(train, self.target_transform)
         self.model = build_model(self.kind, seed=self.seed,
                                  **self.model_overrides)
         cfg = cfg or TrainConfig(seed=self.seed)
         self.train_result = train_model(self.model, train, val,
-                                        self.normalizer, cfg)
+                                        self.normalizer, cfg,
+                                        checkpoint_path=checkpoint_path,
+                                        resume=resume)
         return self.train_result
 
     def predict_samples(self, samples: list[StageSample],

@@ -1,24 +1,47 @@
-"""Training loop with early stopping (§IV-B6–B8).
+"""Training loop with early stopping (§IV-B6–B8) and crash-safe resume.
 
 Protocol per the paper: Adam (β = 0.9/0.999), cosine LR decay from 1e-3 to
 0 over the epoch budget, MAE loss (MSE available for the ablation), batch
 size 32, up to 500 epochs with early stopping — training halts when the
 validation loss has not improved for ``patience`` epochs and the weights
 are reset to the best-performing snapshot.
+
+Robustness additions on top of the paper's protocol:
+
+* **divergence guard** — a non-finite train or val loss stops training
+  immediately (NaN comparisons would otherwise defeat early stopping and
+  burn the remaining budget), restores the best snapshot, and flags the
+  run via ``TrainResult.diverged``;
+* **epoch-level checkpointing** — ``checkpoint_path=`` atomically
+  persists model weights, Adam moments, scheduler position, best
+  snapshot, loss history, *and the numpy bit-generator state* after each
+  epoch (tmp + fsync + rename, so a crash mid-write never publishes a
+  torn checkpoint);
+* **resume** — ``resume=True`` replays all of that state, so an
+  interrupted-and-resumed run reproduces the uninterrupted run's losses,
+  weights, and early-stopping decisions bit-for-bit (wall-clock time is
+  accumulated across segments).
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from ..nn.functional import mae, mse
 from ..nn.layers import Module
 from ..nn.optim import Adam, CosineDecay
 from ..nn.tensor import Tensor, no_grad
 from .dataset import Batch, Normalizer, StageSample, make_batches
+
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -47,6 +70,8 @@ class TrainResult:
     epochs_run: int = 0
     wall_seconds: float = 0.0
     stopped_early: bool = False
+    #: training hit a non-finite loss and was stopped by the guard
+    diverged: bool = False
 
 
 def _loss_fn(name: str):
@@ -69,14 +94,116 @@ def evaluate_loss(model: Module, batches: list[Batch], loss_name: str) -> float:
     return total / max(count, 1)
 
 
+# ------------------------------------------------------------- checkpointing
+def _run_fingerprint(cfg: TrainConfig, n_train: int, n_val: int) -> str:
+    """Identity of a training run; resuming a different run is an error."""
+    return json.dumps({"epochs": cfg.epochs, "batch_size": cfg.batch_size,
+                       "lr": cfg.lr, "patience": cfg.patience,
+                       "loss": cfg.loss, "early": cfg.early_stopping,
+                       "warmup": cfg.warmup_frac, "seed": cfg.seed,
+                       "n_train": n_train, "n_val": n_val}, sort_keys=True)
+
+
+def _save_checkpoint(path: Path, *, model: Module, opt: Adam,
+                     sched: CosineDecay, rng: np.random.Generator,
+                     result: TrainResult, best_val: float,
+                     best_state: dict, epoch_next: int, elapsed: float,
+                     fingerprint: str, done: bool = False) -> None:
+    """Atomically persist full training state after an epoch."""
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "epoch_next": epoch_next,
+        "adam_t": opt.t,
+        "lr": opt.lr,
+        "sched_epoch": sched.epoch,
+        "rng_state": rng.bit_generator.state,
+        "best_val": best_val,
+        "best_epoch": result.best_epoch,
+        "train_loss": result.train_loss,
+        "val_loss": result.val_loss,
+        "elapsed": elapsed,
+        "done": done,
+        "stopped_early": result.stopped_early,
+        "diverged": result.diverged,
+    }
+    arrays: dict[str, np.ndarray] = {"meta": np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)}
+    for name, value in model.state_dict().items():
+        arrays[f"param::{name}"] = value
+    for name, value in best_state.items():
+        arrays[f"best::{name}"] = value
+    for i, m in enumerate(opt.m):
+        arrays[f"adam_m::{i}"] = m
+    for i, v in enumerate(opt.v):
+        arrays[f"adam_v::{i}"] = v
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: Path, fingerprint: str) -> dict | None:
+    """Parsed checkpoint state, or ``None`` when absent/unreadable.
+
+    A checkpoint from a *different* run configuration raises — silently
+    grafting mismatched state would corrupt the result — while a
+    missing or unreadable file simply means "start from scratch".
+    """
+    if not path.is_file():
+        return None
+    try:
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays.pop("meta").tobytes()).decode())
+    except Exception as exc:  # noqa: BLE001 - any damage ⇒ fresh start
+        import warnings
+
+        warnings.warn(f"ignoring unreadable checkpoint {path}: {exc}",
+                      stacklevel=3)
+        return None
+    if meta.get("version") != CHECKPOINT_VERSION:
+        import warnings
+
+        warnings.warn(f"ignoring checkpoint {path} with version "
+                      f"{meta.get('version')}", stacklevel=3)
+        return None
+    if meta.get("fingerprint") != fingerprint:
+        raise ValueError(
+            f"checkpoint {path} belongs to a different training run "
+            f"(config/dataset fingerprint mismatch); refusing to resume")
+    params = {name[len("param::"):]: value for name, value in arrays.items()
+              if name.startswith("param::")}
+    best = {name[len("best::"):]: value for name, value in arrays.items()
+            if name.startswith("best::")}
+    adam_m = [arrays[f"adam_m::{i}"]
+              for i in range(sum(1 for n in arrays if n.startswith("adam_m::")))]
+    adam_v = [arrays[f"adam_v::{i}"]
+              for i in range(sum(1 for n in arrays if n.startswith("adam_v::")))]
+    return {"meta": meta, "params": params, "best": best,
+            "adam_m": adam_m, "adam_v": adam_v}
+
+
 def train_model(
     model: Module,
     train_samples: list[StageSample],
     val_samples: list[StageSample],
     normalizer: Normalizer,
     cfg: TrainConfig | None = None,
+    *,
+    checkpoint_path: str | os.PathLike | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> TrainResult:
-    """Train ``model`` in place; returns the loss history."""
+    """Train ``model`` in place; returns the loss history.
+
+    With ``checkpoint_path`` set, full training state is persisted
+    atomically every ``checkpoint_every`` epochs; ``resume=True`` picks
+    up from the latest checkpoint (if any) and reproduces the
+    uninterrupted run bit-for-bit.
+    """
     cfg = cfg or TrainConfig()
     fn = _loss_fn(cfg.loss)
     rng = np.random.default_rng(cfg.seed)
@@ -88,9 +215,51 @@ def train_model(
     result = TrainResult()
     best_val = float("inf")
     best_state = model.state_dict()
+    start_epoch = 0
+    prior_elapsed = 0.0
+
+    ckpt_path = Path(checkpoint_path) if checkpoint_path is not None else None
+    fingerprint = _run_fingerprint(cfg, len(train_samples), len(val_samples))
+    if resume and ckpt_path is not None:
+        state = _load_checkpoint(ckpt_path, fingerprint)
+        if state is not None:
+            meta = state["meta"]
+            if meta.get("done"):
+                # the checkpointed run already finished: reproduce its
+                # result instead of training past the recorded stop point
+                model.load_state_dict(state["best"])
+                result.train_loss = [float(x) for x in meta["train_loss"]]
+                result.val_loss = [float(x) for x in meta["val_loss"]]
+                result.best_epoch = int(meta["best_epoch"])
+                result.stopped_early = bool(meta["stopped_early"])
+                result.diverged = bool(meta["diverged"])
+                result.epochs_run = len(result.train_loss)
+                result.wall_seconds = float(meta["elapsed"])
+                return result
+            model.load_state_dict(state["params"])
+            best_state = {k: v.astype(np.float32).copy()
+                          for k, v in state["best"].items()}
+            opt.t = int(meta["adam_t"])
+            opt.lr = float(meta["lr"])
+            for m, saved in zip(opt.m, state["adam_m"]):
+                m[...] = saved
+            for v, saved in zip(opt.v, state["adam_v"]):
+                v[...] = saved
+            sched.epoch = int(meta["sched_epoch"])
+            rng.bit_generator.state = meta["rng_state"]
+            result.train_loss = [float(x) for x in meta["train_loss"]]
+            result.val_loss = [float(x) for x in meta["val_loss"]]
+            result.best_epoch = int(meta["best_epoch"])
+            best_val = float(meta["best_val"])
+            start_epoch = int(meta["epoch_next"])
+            prior_elapsed = float(meta["elapsed"])
+
     start = time.perf_counter()
 
-    for epoch in range(cfg.epochs):
+    def _elapsed() -> float:
+        return prior_elapsed + (time.perf_counter() - start)
+
+    for epoch in range(start_epoch, cfg.epochs):
         order = rng.permutation(len(train_batches))
         epoch_loss, seen = 0.0, 0
         for bi in order:
@@ -103,21 +272,47 @@ def train_model(
             epoch_loss += float(loss.data) * b.size
             seen += b.size
         sched.step()
-        result.train_loss.append(epoch_loss / max(seen, 1))
+        tl = epoch_loss / max(seen, 1)
+        if faults.check("train_diverge", epoch) is not None:
+            tl = float("nan")
+        result.train_loss.append(tl)
 
         vl = (evaluate_loss(model, val_batches, cfg.loss)
               if val_batches else result.train_loss[-1])
         result.val_loss.append(vl)
-        if vl < best_val - 1e-9:
+        finished = False
+        if not (math.isfinite(tl) and math.isfinite(vl)):
+            # NaN/inf defeats the < comparison below, so without this
+            # guard a diverged run silently trains through every
+            # remaining epoch; stop now and fall back to the best state
+            result.diverged = True
+            finished = True
+        elif vl < best_val - 1e-9:
             best_val = vl
             result.best_epoch = epoch
             best_state = model.state_dict()
         elif (cfg.early_stopping
               and epoch - result.best_epoch >= cfg.patience):
             result.stopped_early = True
+            finished = True
+        if finished:
             break
+        if (ckpt_path is not None
+                and (epoch + 1) % max(1, checkpoint_every) == 0):
+            _save_checkpoint(ckpt_path, model=model, opt=opt, sched=sched,
+                             rng=rng, result=result, best_val=best_val,
+                             best_state=best_state, epoch_next=epoch + 1,
+                             elapsed=_elapsed(), fingerprint=fingerprint)
 
     model.load_state_dict(best_state)
     result.epochs_run = len(result.train_loss)
-    result.wall_seconds = time.perf_counter() - start
+    result.wall_seconds = _elapsed()
+    if ckpt_path is not None:
+        # terminal checkpoint: a later resume= reproduces this result
+        # instead of training past the recorded stop point
+        _save_checkpoint(ckpt_path, model=model, opt=opt, sched=sched,
+                         rng=rng, result=result, best_val=best_val,
+                         best_state=best_state, epoch_next=cfg.epochs,
+                         elapsed=result.wall_seconds,
+                         fingerprint=fingerprint, done=True)
     return result

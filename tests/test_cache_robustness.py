@@ -1,0 +1,167 @@
+"""Crash-safety of the sharded results cache: checksums, quarantine,
+stale-debris reaping, and transient-IO retry."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.experiments import manifest
+from repro.experiments.cache import (
+    ResultsCache,
+    SHARD_VERSION,
+    _read_shard,
+    _shard_index,
+    _shard_of,
+    _write_atomic,
+)
+
+
+class TestChecksummedShards:
+    def test_shards_carry_valid_checksums(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        cache.set("a", {"mre": 1.0})
+        doc = json.loads((tmp_path / "shards" / f"{_shard_of('a')}.json")
+                         .read_text())
+        assert doc["__shard_version__"] == SHARD_VERSION
+        assert set(doc) == {"__shard_version__", "checksum", "entries"}
+        assert doc["entries"] == {"a": {"mre": 1.0}}
+
+    def test_v1_plain_dict_shards_stay_readable(self, tmp_path):
+        (tmp_path / "shards").mkdir(parents=True)
+        shard = tmp_path / "shards" / f"{_shard_of('old')}.json"
+        shard.write_text(json.dumps({"old": {"mre": 7.0}}))  # pre-checksum
+        assert ResultsCache(tmp_path).get("old") == {"mre": 7.0}
+        assert shard.exists()  # not quarantined
+
+    def test_corrupt_shard_quarantined_and_recovered(self, tmp_path):
+        """The regression this PR exists for: a corrupted shard used to
+        silently read as ``{}``; now it is quarantined with a warning
+        and the entry is simply recomputed and rewritten."""
+        cache = ResultsCache(tmp_path)
+        cache.set("cell", {"mre": 3.5})
+        shard = tmp_path / "shards" / f"{_shard_of('cell')}.json"
+        faults.corrupt_file(shard)
+
+        fresh = ResultsCache(tmp_path)
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert fresh.get("cell") is None
+        assert not shard.exists()
+        assert [p.name for p in fresh.quarantined()] == [f"{shard.name}.corrupt"]
+        events = manifest.read_events(tmp_path)
+        assert [e["event"] for e in events] == ["shard_quarantined"]
+        # the rebuild-from-retry path: re-set publishes a clean shard
+        fresh.set("cell", {"mre": 3.5})
+        assert ResultsCache(tmp_path).get("cell") == {"mre": 3.5}
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        """Valid JSON with doctored entries must still quarantine."""
+        cache = ResultsCache(tmp_path)
+        cache.set("k", 1)
+        shard = tmp_path / "shards" / f"{_shard_of('k')}.json"
+        doc = json.loads(shard.read_text())
+        doc["entries"]["k"] = 2  # bit-flip the value, keep old checksum
+        shard.write_text(json.dumps(doc))
+        with pytest.warns(UserWarning, match="checksum mismatch"):
+            assert ResultsCache(tmp_path).get("k") is None
+
+    def test_keys_skips_quarantined(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        cache.set("good", 1)
+        cache.set("bad", 2)
+        bad_shard = tmp_path / "shards" / f"{_shard_of('bad')}.json"
+        faults.corrupt_file(bad_shard)
+        with pytest.warns(UserWarning):
+            assert ResultsCache(tmp_path).keys() == ["good"]
+
+
+class TestWriteDurability:
+    def test_write_atomic_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        """fsync must hit the tmp file before os.replace publishes it."""
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append("fsync"),
+                                                     real_fsync(fd))[1])
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b))[1])
+        _write_atomic(tmp_path / "00.json", {"k": 1})
+        assert calls[0] == "fsync"
+        assert "replace" in calls
+        assert calls.index("fsync") < calls.index("replace")
+        assert _read_shard(tmp_path / "00.json") == {"k": 1}
+
+    def test_no_tmp_debris_after_set(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        for i in range(16):
+            cache.set(f"k{i}", i)
+        assert not list((tmp_path / "shards").glob("*.tmp*"))
+
+
+class TestReaping:
+    def test_dead_writer_tmp_reaped_live_writer_kept(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        cache.set("k", 1)
+        shards = tmp_path / "shards"
+        dead = shards / "aa.tmp999999999"  # pid far beyond pid_max
+        dead.write_text("partial")
+        live = shards / f"bb.tmp{os.getpid()}"  # "our" in-flight write
+        live.write_text("partial")
+        assert cache.reap_stale(max_age=3600) == 1
+        assert not dead.exists() and live.exists()
+
+    def test_old_tmp_reaped_even_with_live_pid(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        cache.set("k", 1)
+        old = tmp_path / "shards" / f"cc.tmp{os.getpid()}"
+        old.write_text("partial")
+        os.utime(old, (1, 1))  # epoch 1970
+        assert cache.reap_stale() == 1
+
+    def test_stale_lock_reaped_fresh_lock_kept(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        cache.set("k", 1)  # leaves a fresh .lock
+        shards = tmp_path / "shards"
+        fresh_locks = list(shards.glob("*.lock"))
+        assert fresh_locks
+        stale = shards / "zz.lock"
+        stale.touch()
+        os.utime(stale, (1, 1))
+        assert cache.reap_stale() == 1
+        assert not stale.exists()
+        assert all(p.exists() for p in fresh_locks)
+
+    def test_disabled_cache_reaps_nothing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert ResultsCache().reap_stale() == 0
+
+
+class TestTransientIO:
+    def test_injected_io_error_retried_write_lands(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "io_error")  # attempt 0 only
+        cache = ResultsCache(tmp_path)
+        cache.set("k", {"v": 42})
+        assert ResultsCache(tmp_path).get("k") == {"v": 42}
+        events = manifest.read_events(tmp_path)
+        assert any(e["event"] == "write_retried" for e in events)
+
+    def test_persistent_io_error_finally_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "io_error:attempts=*")
+        cache = ResultsCache(tmp_path)
+        with pytest.raises(OSError):
+            cache.set("k", 1)
+
+    def test_injected_shard_corruption_on_write(self, tmp_path, monkeypatch):
+        cache = ResultsCache(tmp_path)
+        shard_no = _shard_index("victim")
+        monkeypatch.setenv(faults.ENV_VAR, f"shard_corrupt:at={shard_no}")
+        cache.set("victim", 1)
+        # in-memory tier still serves this process...
+        assert cache.get("victim") == 1
+        # ...but a fresh reader sees the corruption and quarantines
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert ResultsCache(tmp_path).get("victim") is None

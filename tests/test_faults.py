@@ -1,0 +1,98 @@
+"""Deterministic fault-injection harness: grammar and firing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultRule, FaultSpecError, InjectedFault, parse_faults
+
+
+class TestParse:
+    def test_empty_spec_is_no_plan(self):
+        assert parse_faults("") == ()
+        assert parse_faults(" ; ; ") == ()
+
+    def test_full_grammar(self):
+        rules = parse_faults(
+            "worker_crash:at=1|3;cell_hang:at=2,secs=7.5;"
+            "io_error:p=0.25,seed=9,attempts=*;train_diverge")
+        assert [r.site for r in rules] == [
+            "worker_crash", "cell_hang", "io_error", "train_diverge"]
+        assert rules[0].at == frozenset({1, 3})
+        assert rules[1].secs == 7.5
+        assert rules[2].p == 0.25 and rules[2].seed == 9
+        assert rules[2].attempts is None  # '*' = every attempt
+        assert rules[3].at is None  # every index
+
+    def test_default_attempts_is_first_try_only(self):
+        (rule,) = parse_faults("worker_crash")
+        assert rule.fires(0, attempt=0)
+        assert not rule.fires(0, attempt=1)  # retries succeed by default
+
+    def test_bad_specs_raise(self):
+        for spec in ("sigsegv", "worker_crash:at=x", "cell_hang:secs=lots",
+                     "io_error:p=2.0", "worker_crash:at", "io_error:seed=q",
+                     "worker_crash:color=red"):
+            with pytest.raises(FaultSpecError):
+                parse_faults(spec)
+
+    def test_probability_is_deterministic_and_roughly_calibrated(self):
+        (rule,) = parse_faults("io_error:p=0.3,seed=5,attempts=*")
+        draws = [rule.fires(i, 0) for i in range(2000)]
+        assert draws == [rule.fires(i, 0) for i in range(2000)]  # pure
+        assert 0.2 < sum(draws) / len(draws) < 0.4
+        (reseeded,) = parse_faults("io_error:p=0.3,seed=6,attempts=*")
+        assert draws != [reseeded.fires(i, 0) for i in range(2000)]
+
+
+class TestInjection:
+    def test_no_env_means_no_faults(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert not faults.faults_active()
+        assert faults.check("worker_crash", 0) is None
+        faults.fire("worker_crash", 0)  # no-op
+
+    def test_check_respects_site_index_attempt(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "train_diverge:at=4")
+        assert faults.check("train_diverge", 4) is not None
+        assert faults.check("train_diverge", 3) is None
+        assert faults.check("train_diverge", 4, attempt=1) is None
+        assert faults.check("worker_crash", 4) is None
+
+    def test_crash_raises_in_process(self, monkeypatch):
+        """Outside an engine worker, worker_crash surfaces as an
+        exception (a hard os._exit would kill the test runner)."""
+        monkeypatch.setenv(faults.ENV_VAR, "worker_crash")
+        with pytest.raises(InjectedFault):
+            faults.fire("worker_crash", 0)
+
+    def test_io_error_fires_oserror(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "io_error:at=7")
+        with pytest.raises(OSError):
+            faults.fire("io_error", 7)
+        faults.fire("io_error", 8)  # other indices untouched
+
+    def test_decision_only_sites_refuse_fire(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "shard_corrupt")
+        with pytest.raises(InjectedFault):
+            faults.fire("shard_corrupt", 0)
+
+    def test_plan_cache_follows_env_value(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker_crash:at=1")
+        assert faults.check("worker_crash", 1) is not None
+        monkeypatch.setenv(faults.ENV_VAR, "worker_crash:at=2")
+        assert faults.check("worker_crash", 1) is None
+        assert faults.check("worker_crash", 2) is not None
+
+
+class TestCorruptFile:
+    def test_corruption_breaks_json_but_keeps_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "shard.json"
+        path.write_text(json.dumps({"k": list(range(200))}))
+        faults.corrupt_file(path)
+        assert path.is_file() and path.stat().st_size > 0
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text(errors="replace"))

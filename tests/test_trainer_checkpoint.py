@@ -1,0 +1,196 @@
+"""Trainer robustness: divergence guard, atomic checkpointing, and
+interrupted-resume bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.predictors.trainer as trainer_mod
+from repro import faults
+from repro.predictors import Normalizer, TrainConfig, split_dataset, train_model
+from repro.predictors.base import build_model
+
+
+@pytest.fixture(scope="module")
+def splits(tiny_corpus):
+    return split_dataset(tiny_corpus, 0.6, 0.15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def norm(splits):
+    return Normalizer.fit(splits.train)
+
+
+def _cfg(**overrides):
+    base = dict(epochs=8, patience=8, batch_size=8, seed=3)
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def _train(splits, norm, cfg, **kwargs):
+    model = build_model("gcn", seed=cfg.seed)
+    result = train_model(model, splits.train, splits.val, norm, cfg, **kwargs)
+    return model, result
+
+
+class _StopAfter(Exception):
+    """Simulated kill -9 between epochs."""
+
+
+def _interrupt_after(monkeypatch, n_saves):
+    """Kill training right after its ``n_saves``-th epoch checkpoint."""
+    real = trainer_mod._save_checkpoint
+    count = {"n": 0}
+
+    def wrapper(*args, **kwargs):
+        real(*args, **kwargs)
+        if not kwargs.get("done"):
+            count["n"] += 1
+            if count["n"] >= n_saves:
+                raise _StopAfter()
+
+    monkeypatch.setattr(trainer_mod, "_save_checkpoint", wrapper)
+
+
+class TestDivergenceGuard:
+    def test_injected_nan_stops_and_flags(self, splits, norm, monkeypatch):
+        """Without the guard a NaN loss trains through the whole budget
+        (NaN comparisons defeat early stopping); with it, training stops
+        at the diverged epoch and restores the best snapshot."""
+        monkeypatch.setenv(faults.ENV_VAR, "train_diverge:at=3")
+        model, result = _train(splits, norm, _cfg(epochs=20, patience=20))
+        assert result.diverged
+        assert result.epochs_run == 4  # epochs 0..3, then the guard fired
+        assert np.isnan(result.train_loss[-1])
+        assert not result.stopped_early
+        # restored weights reproduce the best (pre-divergence) val loss
+        from repro.predictors import evaluate_loss, make_batches
+
+        val_batches = make_batches(splits.val, norm, 8)
+        best = min(v for v in result.val_loss if np.isfinite(v))
+        assert evaluate_loss(model, val_batches, "mae") == pytest.approx(
+            best, rel=1e-5)
+
+    def test_clean_run_not_flagged(self, splits, norm, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        _, result = _train(splits, norm, _cfg())
+        assert not result.diverged
+
+
+class TestCheckpointResume:
+    def test_interrupted_resume_bit_identical(self, splits, norm, tmp_path,
+                                              monkeypatch):
+        """Kill training after 3 epochs; the resumed run must reproduce
+        the uninterrupted run's losses, decisions, and weights exactly
+        (RNG, Adam moments, and scheduler state all replay)."""
+        cfg = _cfg(epochs=7)
+        ref_model, ref = _train(splits, norm, cfg)
+
+        ckpt = tmp_path / "run.npz"
+        _interrupt_after(monkeypatch, 3)
+        with pytest.raises(_StopAfter):
+            _train(splits, norm, cfg, checkpoint_path=ckpt)
+        monkeypatch.undo()
+
+        res_model, resumed = _train(splits, norm, cfg, checkpoint_path=ckpt,
+                                    resume=True)
+        assert resumed.train_loss == ref.train_loss  # == : bit-identical
+        assert resumed.val_loss == ref.val_loss
+        assert resumed.best_epoch == ref.best_epoch
+        assert resumed.epochs_run == ref.epochs_run
+        assert resumed.stopped_early == ref.stopped_early
+        ref_w, res_w = ref_model.state_dict(), res_model.state_dict()
+        assert set(ref_w) == set(res_w)
+        assert all(np.array_equal(ref_w[k], res_w[k]) for k in ref_w)
+
+    def test_resume_of_finished_run_replays_result(self, splits, norm,
+                                                   tmp_path):
+        """Resuming a *completed* checkpoint must not train past the
+        recorded stop point — it reproduces the recorded result."""
+        cfg = _cfg(epochs=5)
+        ckpt = tmp_path / "done.npz"
+        ref_model, ref = _train(splits, norm, cfg, checkpoint_path=ckpt)
+        res_model, resumed = _train(splits, norm, cfg, checkpoint_path=ckpt,
+                                    resume=True)
+        assert resumed.train_loss == ref.train_loss
+        assert resumed.epochs_run == ref.epochs_run
+        ref_w = ref_model.state_dict()
+        assert all(np.array_equal(ref_w[k], v)
+                   for k, v in res_model.state_dict().items())
+
+    def test_resume_without_checkpoint_is_fresh_start(self, splits, norm,
+                                                      tmp_path):
+        cfg = _cfg(epochs=4)
+        _, ref = _train(splits, norm, cfg)
+        _, result = _train(splits, norm, cfg,
+                           checkpoint_path=tmp_path / "absent.npz",
+                           resume=True)
+        assert result.train_loss == ref.train_loss
+
+    def test_torn_checkpoint_ignored_with_warning(self, splits, norm,
+                                                  tmp_path):
+        """A truncated checkpoint (crash mid-write without the atomic
+        protocol) must mean fresh start, not a crash or silent garbage."""
+        cfg = _cfg(epochs=4)
+        ckpt = tmp_path / "torn.npz"
+        ckpt.write_bytes(b"PK\x03\x04 definitely not a complete zip")
+        with pytest.warns(UserWarning, match="unreadable checkpoint"):
+            _, result = _train(splits, norm, cfg, checkpoint_path=ckpt,
+                               resume=True)
+        _, ref = _train(splits, norm, cfg)
+        assert result.train_loss == ref.train_loss
+
+    def test_mismatched_run_refuses_resume(self, splits, norm, tmp_path):
+        ckpt = tmp_path / "other.npz"
+        _train(splits, norm, _cfg(epochs=4), checkpoint_path=ckpt)
+        with pytest.raises(ValueError, match="different training run"):
+            _train(splits, norm, _cfg(epochs=4, seed=9),
+                   checkpoint_path=ckpt, resume=True)
+
+    def test_no_tmp_debris_left_behind(self, splits, norm, tmp_path):
+        ckpt = tmp_path / "run.npz"
+        _train(splits, norm, _cfg(epochs=3), checkpoint_path=ckpt)
+        assert ckpt.is_file()
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+    def test_checkpoint_every_n(self, splits, norm, tmp_path, monkeypatch):
+        """checkpoint_every=2 halves the save cadence; resume still
+        reproduces the reference run from the coarser checkpoint."""
+        saves = []
+        real = trainer_mod._save_checkpoint
+        monkeypatch.setattr(
+            trainer_mod, "_save_checkpoint",
+            lambda *a, **k: (saves.append(k["epoch_next"]), real(*a, **k))[1])
+        cfg = _cfg(epochs=6)
+        _, ref = _train(splits, norm, cfg, checkpoint_path=tmp_path / "c.npz",
+                        checkpoint_every=2)
+        assert saves[:-1] == [2, 4, 6]  # epoch checkpoints, then the done-save
+        monkeypatch.undo()
+        _, resumed = _train(splits, norm, cfg,
+                            checkpoint_path=tmp_path / "c.npz", resume=True)
+        assert resumed.train_loss == ref.train_loss
+
+
+class TestFacadeCheckpointing:
+    def test_latency_predictor_fit_resumes(self, splits, tmp_path,
+                                           monkeypatch):
+        from repro.predictors import LatencyPredictor
+
+        cfg = _cfg(epochs=6)
+        ref = LatencyPredictor("gcn", seed=3)
+        ref_result = ref.fit(splits.train, splits.val, cfg)
+
+        ckpt = tmp_path / "fit.npz"
+        _interrupt_after(monkeypatch, 2)
+        lp = LatencyPredictor("gcn", seed=3)
+        with pytest.raises(_StopAfter):
+            lp.fit(splits.train, splits.val, cfg, checkpoint_path=ckpt)
+        monkeypatch.undo()
+        lp = LatencyPredictor("gcn", seed=3)
+        resumed = lp.fit(splits.train, splits.val, cfg, checkpoint_path=ckpt,
+                         resume=True)
+        assert resumed.train_loss == ref_result.train_loss
+        pred_ref = ref.predict_samples(splits.test)
+        pred_res = lp.predict_samples(splits.test)
+        assert np.array_equal(pred_ref, pred_res)
