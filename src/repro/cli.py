@@ -130,10 +130,19 @@ def cmd_predict(args) -> int:
 
 
 def cmd_search(args) -> int:
+    import dataclasses
+    import json
+
     from .core.search import APPROACHES, PlanSearcher
+    from .predictors.trust import TrustConfig
 
     model, clustering, profiler = _build(args)
     platform = get_platform(args.platform)
+    trust = TrustConfig.from_env()
+    if args.trust:
+        trust = dataclasses.replace(trust, enabled=True)
+    if args.trust_budget >= 0:
+        trust = dataclasses.replace(trust, budget=args.trust_budget)
     searcher = PlanSearcher(
         model, clustering, platform.cluster(),
         n_microbatches=args.microbatches,
@@ -142,14 +151,34 @@ def cmd_search(args) -> int:
         train_config=TrainConfig(epochs=args.epochs, patience=args.epochs,
                                  batch_size=8, lr=2e-3, seed=args.seed),
         seed=args.seed,
+        trust=trust,
     )
     approaches = APPROACHES if args.approach == "all" else (args.approach,)
+    out = {}
     for approach in approaches:
         r = searcher.run(approach)
+        out[approach] = {
+            "latency_ms": r.true_iteration_latency * 1e3,
+            "cost_s": r.optimization_cost,
+            "stages": r.plan.n_stages,
+            "table_entries": r.n_table_entries,
+            "degradations": r.degradations,
+            "trust": r.trust.as_dict() if r.trust is not None else None,
+        }
+        if args.json:
+            continue
         print(f"== {approach}")
         print(r.plan.describe())
         print(f"   optimization cost {r.optimization_cost:9.1f} s, "
-              f"true latency {r.true_iteration_latency * 1e3:8.1f} ms\n")
+              f"true latency {r.true_iteration_latency * 1e3:8.1f} ms")
+        if r.trust is not None and (r.trust.total or r.trust.retrained
+                                    or r.trust.degraded):
+            print(f"   {r.trust.summary()}")
+        for note in r.degradations:
+            print(f"   degraded: {note}")
+        print()
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
     return 0
 
 
@@ -235,6 +264,10 @@ def cmd_bench(args) -> int:
                              f"cells failed after retries "
                              f"({report.attempts} attempts, mode="
                              f"{report.mode}); see `repro bench report`")
+                if report.retrained or report.diverged:
+                    text += (f"\n!! divergence guard: {report.retrained} "
+                             f"cell(s) retrained with a fresh seed, "
+                             f"{report.diverged} still diverged")
             (out_dir / f"{stem}.txt").write_text(text + "\n")
             print(f"{text}\n[{stem}: profile={profile.name} "
                   f"jobs={jobs}, saved under {out_dir}]\n")
@@ -281,6 +314,16 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--microbatches", type=int, default=8)
     p.add_argument("--sample-fraction", type=float, default=0.5)
     p.add_argument("--epochs", type=int, default=40)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable results instead of plan text")
+    p.add_argument("--trust", action="store_true",
+                   help="enable the gray-box trust layer (ensemble "
+                        "uncertainty, OOD + physical-bounds guards) even "
+                        "without REPRO_TRUST=1")
+    p.add_argument("--trust-budget", type=float, default=-1.0,
+                   help="simulated profiling seconds the escalation policy "
+                        "may spend re-profiling suspect predictions "
+                        "(-1 = REPRO_TRUST_BUDGET / 0)")
 
     p = sub.add_parser(
         "bench", help="regenerate experiment grids via the fault-tolerant "

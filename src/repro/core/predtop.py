@@ -24,9 +24,11 @@ import numpy as np
 from ..cluster.mesh import DeviceMesh, logical_views
 from ..models.clustering import Clustering
 from ..models.model import Model
+from ..predictors.analytical import AnalyticalPredictor
 from ..predictors.base import LatencyPredictor
 from ..predictors.dataset import StageSample
 from ..predictors.trainer import TrainConfig
+from ..predictors.trust import EnsemblePredictor, TrustConfig, TrustStats, assess
 from ..runtime.pipeline import whitebox_latency
 from ..runtime.profiler import ProfiledStage, StageProfiler
 from .sampling import stratified_sample
@@ -47,6 +49,9 @@ class PredTOPConfig:
     #: the checkpoint and reproduces the uninterrupted run bit-for-bit
     checkpoint_path: str | None = None
     resume: bool = False
+    #: gray-box trust layer knobs (defaults read ``REPRO_TRUST_*``;
+    #: disabled unless ``REPRO_TRUST`` is set)
+    trust: TrustConfig = field(default_factory=TrustConfig.from_env)
 
 
 @dataclass
@@ -86,6 +91,12 @@ class PredTOP:
         self.profiler = profiler or StageProfiler(model)
         self.costs = PhaseCosts()
         self.predictor: LatencyPredictor | None = None
+        self.ensemble: EnsemblePredictor | None = None
+        #: guard/escalation accounting across the prediction phase
+        self.trust_stats = TrustStats()
+        #: calibrated analytical predictor; the fallback when the whole
+        #: learned predictor degrades, the bounds oracle otherwise
+        self._analytical: AnalyticalPredictor | None = None
         self._profiled: list[ProfiledStage] = []
 
     # ------------------------------------------------------------- phase 1
@@ -130,8 +141,16 @@ class PredTOP:
         return best
 
     # ------------------------------------------------------------- phase 2
-    def training_phase(self) -> LatencyPredictor:
-        """Train the predictor on the profiled sample."""
+    def training_phase(self) -> LatencyPredictor | None:
+        """Train the predictor (ensemble) on the profiled sample.
+
+        With trust enabled this fits a deep ensemble of
+        ``config.trust.ensemble_size`` members (member 0 bit-identical
+        to the plain single fit); a fit that diverges is retrained once
+        with a fresh seed.  If *every* member diverges the framework
+        degrades: ``predictor`` stays ``None`` and the prediction phase
+        serves calibrated analytical estimates instead of crashing.
+        """
         if not self._profiled:
             raise RuntimeError("run profiling_phase first")
         samples = [StageSample(p.graph, p.latency, p.stage_id)
@@ -146,13 +165,23 @@ class PredTOP:
         n_val = max(1, int(round(self.config.val_fraction * len(samples))))
         val = [samples[i] for i in order[:n_val]]
         train = [samples[i] for i in order[n_val:]]
-        self.predictor = LatencyPredictor(self.config.predictor_kind,
-                                          seed=self.config.seed)
-        result = self.predictor.fit(
+        tcfg = self.config.trust
+        self.ensemble = EnsemblePredictor(
+            self.config.predictor_kind, seed=self.config.seed,
+            size=tcfg.ensemble_size if tcfg.enabled else 1)
+        fit = self.ensemble.fit(
             train, val, self.config.train,
             checkpoint_path=self.config.checkpoint_path,
             resume=self.config.resume)
-        self.costs.training_seconds += result.wall_seconds
+        self.costs.training_seconds += fit.wall_seconds
+        self.trust_stats.retrained += fit.retrained
+        self._analytical = AnalyticalPredictor(self.mesh.gpu)
+        self._analytical.fit(samples, [])
+        if fit.degraded:
+            self.trust_stats.degraded += 1
+            self.predictor = None
+        else:
+            self.predictor = self.ensemble.members[0]
         return self.predictor
 
     # ------------------------------------------------------------- phase 3
@@ -161,8 +190,16 @@ class PredTOP:
         slices: list[tuple[int, int]] | None = None,
         microbatch: int | None = None,
     ) -> dict[tuple[int, int], float]:
-        """Predict optimal stage latency for all (or given) slices."""
-        if self.predictor is None:
+        """Predict optimal stage latency for all (or given) slices.
+
+        With trust enabled each prediction passes the uncertainty /
+        OOD / physical-bounds guards; suspect entries escalate to
+        re-profiling while ``trust.budget`` lasts, then to the
+        calibrated analytical estimate.  A fully degraded predictor
+        (every ensemble member diverged) serves analytical estimates
+        outright.
+        """
+        if self.predictor is None and self._analytical is None:
             raise RuntimeError("run training_phase first")
         slices = slices or [self.clustering.slice_range(i, j)
                             for i in range(self.clustering.n_units)
@@ -170,7 +207,33 @@ class PredTOP:
         t0 = time.perf_counter()
         graphs = [self.profiler.predictor_graph(s, e, microbatch)
                   for (s, e) in slices]
-        preds = self.predictor.predict_graphs(graphs)
+        tcfg = self.config.trust
+        if self.predictor is None:
+            # degraded: the learned predictor is gone, serve the fallback
+            preds = self._analytical.predict_graphs(graphs)
+            self.trust_stats.escalated_analytical += len(slices)
+        elif not tcfg.enabled:
+            preds = self.predictor.predict_graphs(graphs)
+        else:
+            mean, std = self.ensemble.predict_graphs(graphs)
+            ana = self._analytical.predict_graphs(graphs)
+            preds = []
+            for k, g in enumerate(graphs):
+                guarded = assess(float(mean[k]), float(std[k]),
+                                 self.ensemble.feature_stats.ood_score(g),
+                                 float(ana[k]), tcfg)
+                self.trust_stats.record(guarded)
+                if guarded.trusted:
+                    preds.append(guarded.value)
+                elif self.trust_stats.budget_spent < tcfg.budget:
+                    p = self._measure(*slices[k], None, None)
+                    self.costs.profiling_seconds += p.profiling_cost
+                    self.trust_stats.budget_spent += p.profiling_cost
+                    self.trust_stats.escalated_profiled += 1
+                    preds.append(p.latency)
+                else:
+                    self.trust_stats.escalated_analytical += 1
+                    preds.append(float(ana[k]))
         self.costs.inference_seconds += time.perf_counter() - t0
         return {sl: float(p) for sl, p in zip(slices, preds)}
 

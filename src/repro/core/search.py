@@ -25,14 +25,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import faults
 from ..cluster.mesh import DeviceMesh, enumerate_submeshes
 from ..models.clustering import Clustering
 from ..models.model import Model
 from ..parallel.inter_op import INFEASIBLE, LatencyTable, slice_stages
 from ..parallel.plans import ParallelPlan
-from ..predictors.base import LatencyPredictor
+from ..predictors.analytical import AnalyticalPredictor
 from ..predictors.dataset import StageSample
 from ..predictors.trainer import TrainConfig
+from ..predictors.trust import EnsemblePredictor, TrustConfig, TrustStats, assess
 from ..runtime.pipeline import PipelineSimulator
 from ..runtime.profiler import StageProfiler
 from .sampling import stratified_sample
@@ -54,6 +56,11 @@ class SearchResult:
     true_iteration_latency: float = float("inf")
     #: per-(slice, submesh) predicted/measured table used by the DP
     n_table_entries: int = 0
+    #: guard/escalation accounting of the trust layer (PredTOP approaches)
+    trust: TrustStats | None = None
+    #: human-readable notes on components that failed and fell back to
+    #: re-profiling or the analytical predictor
+    degradations: list[str] = field(default_factory=list)
 
 
 class PlanSearcher:
@@ -72,6 +79,7 @@ class PlanSearcher:
         enforce_memory: bool = True,
         seed: int = 0,
         jobs: int | None = None,
+        trust: TrustConfig | None = None,
     ) -> None:
         self.model = model
         self.clustering = clustering
@@ -88,6 +96,9 @@ class PlanSearcher:
         self.seed = seed
         #: engine worker count for the profiling sweeps (None = REPRO_JOBS)
         self.jobs = jobs
+        #: trust-layer knobs (None = read ``REPRO_TRUST_*``; disabled by
+        #: default, keeping predictions bit-identical to the unguarded path)
+        self.trust = trust or TrustConfig.from_env()
         self._slices = clustering.all_slices()
         self._unit_slices = [
             (i, j) for i in range(clustering.n_units)
@@ -189,9 +200,23 @@ class PlanSearcher:
                             self._score_plan(plan), len(table.values))
 
     def search_predtop(self, kind: str = "dag_transformer") -> SearchResult:
-        """PredTOP: sample + profile, train per submesh, predict the rest."""
+        """PredTOP: sample + profile, train per submesh, predict the rest.
+
+        Predictions flow through the gray-box trust layer
+        (:mod:`repro.predictors.trust`).  With trust disabled — the
+        default — the happy path is bit-identical to the unguarded
+        search, but even then the search survives a failing predictor:
+        a fit whose training diverges is retrained once with a fresh
+        seed, and a submesh whose predictor throws or diverges twice
+        degrades to re-profiling (within ``trust.budget``) or to the
+        per-submesh-calibrated analytical predictor.  With trust
+        enabled every predicted entry additionally passes the ensemble
+        uncertainty, OOD, and physical-bounds guards; suspect entries
+        escalate through the same budget policy.
+        """
         from ..experiments.engine import parallel_map
 
+        tcfg = self.trust
         table = LatencyTable()
         sampled = stratified_sample(self._unit_slices, self.sample_fraction,
                                     self.seed)
@@ -217,37 +242,118 @@ class PlanSearcher:
 
         rest_graphs = [self.profiler.predictor_graph(
             *self.clustering.slice_range(ui, uj)) for (ui, uj) in rest]
+        ensemble_size = tcfg.ensemble_size if tcfg.enabled else 1
 
-        def fit_and_predict(samples: list[StageSample]):
-            """Train one per-submesh predictor, predict the unprofiled rest."""
-            predictor = LatencyPredictor(kind, seed=self.seed)
-            rng = np.random.default_rng(self.seed)
-            order = rng.permutation(len(samples))
-            n_val = max(1, len(samples) // 6)
-            val = [samples[i] for i in order[:n_val]]
-            train = [samples[i] for i in order[n_val:]]
-            result = predictor.fit(train, val, self.train_config)
-            t0 = time.perf_counter()
-            preds = (predictor.predict_graphs(rest_graphs)
-                     if rest_graphs else np.empty(0))
-            return ([max(float(p), 1e-6) for p in preds],
-                    result.wall_seconds, time.perf_counter() - t0)
+        def fit_and_predict(item: tuple[int, list[StageSample]]):
+            """Train one per-submesh ensemble, predict the unprofiled rest.
+
+            Returns ``(status, mean, std, ood, train_s, infer_s,
+            retrained, detail)``; any exception — including an injected
+            ``predictor_error`` — degrades the submesh instead of
+            aborting the search.
+            """
+            mi, samples = item
+            wall = 0.0
+            try:
+                rng = np.random.default_rng(self.seed)
+                order = rng.permutation(len(samples))
+                n_val = max(1, len(samples) // 6)
+                val = [samples[i] for i in order[:n_val]]
+                train = [samples[i] for i in order[n_val:]]
+                ensemble = EnsemblePredictor(kind, seed=self.seed,
+                                             size=ensemble_size)
+                fit = ensemble.fit(train, val, self.train_config)
+                wall = fit.wall_seconds
+                if fit.degraded:
+                    return ("degraded", None, None, None, wall, 0.0,
+                            fit.retrained, "every ensemble member diverged")
+                t0 = time.perf_counter()
+                faults.fire("predictor_error", mi)
+                if rest_graphs:
+                    mean, std = ensemble.predict_graphs(rest_graphs)
+                    ood = np.array([ensemble.feature_stats.ood_score(g)
+                                    for g in rest_graphs])
+                else:
+                    mean = std = ood = np.empty(0)
+                return ("ok", mean, std, ood, wall,
+                        time.perf_counter() - t0, fit.retrained, "")
+            except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+                return ("error", None, None, None, wall, 0.0, 0,
+                        f"{type(exc).__name__}: {exc}")
 
         # one independent training per submesh — also engine-parallel
-        trained = parallel_map(fit_and_predict, per_submesh, self.jobs)
-        train_cost = sum(t for (_, t, _) in trained)
-        infer_cost = sum(t for (_, _, t) in trained)
-        for mi, (preds, _, _) in enumerate(trained):
-            for (ui, uj), lat in zip(rest, preds):
-                table.set(ui, uj, mi, lat)
+        trained = parallel_map(fit_and_predict,
+                               list(enumerate(per_submesh)), self.jobs)
+        train_cost = sum(t[4] for t in trained)
+        infer_cost = sum(t[5] for t in trained)
+
+        stats = TrustStats()
+        degradations: list[str] = []
+        extra_prof = 0.0
+        ana_cache: dict[int, np.ndarray] = {}
+
+        def analytical_rest(mi: int) -> np.ndarray:
+            """Per-submesh-calibrated analytical estimates for ``rest``."""
+            hit = ana_cache.get(mi)
+            if hit is None:
+                ana = AnalyticalPredictor(self.submeshes[mi].gpu)
+                ana.fit(per_submesh[mi], [])
+                hit = ana_cache[mi] = ana.predict_graphs(rest_graphs)
+            return hit
+
+        def escalate(mi: int, k: int, fallback: float) -> float:
+            """Re-profile a suspect entry within budget, else fall back."""
+            nonlocal extra_prof
+            if stats.budget_spent < tcfg.budget:
+                ls = self.clustering.slice_range(*rest[k])
+                lat, c = self._measure(ls, self.submeshes[mi])
+                extra_prof += c
+                stats.budget_spent += c
+                stats.escalated_profiled += 1
+                return lat
+            stats.escalated_analytical += 1
+            return fallback
+
+        for mi, (status, mean, std, ood, _, _, retrained, detail) \
+                in enumerate(trained):
+            stats.retrained += retrained
+            if status != "ok":
+                # predictor threw or diverged past retraining: fill the
+                # whole submesh through the escalation policy
+                stats.degraded += 1
+                degradations.append(f"submesh {self.submeshes[mi].key()} "
+                                    f"predictor {status}: {detail}")
+                ana = analytical_rest(mi)
+                for k, (ui, uj) in enumerate(rest):
+                    table.set(ui, uj, mi,
+                              max(escalate(mi, k, float(ana[k])), 1e-6))
+                continue
+            rule = faults.check("predict_garbage", mi)
+            if rule is not None and len(mean):
+                mean = faults.garbage_predictions(mean, mi, rule)
+            if not tcfg.enabled:
+                for (ui, uj), p in zip(rest, mean):
+                    table.set(ui, uj, mi, max(float(p), 1e-6))
+                continue
+            ana = analytical_rest(mi)
+            for k, (ui, uj) in enumerate(rest):
+                guarded = assess(float(mean[k]), float(std[k]),
+                                 float(ood[k]), float(ana[k]), tcfg)
+                stats.record(guarded)
+                value = (guarded.value if guarded.trusted
+                         else escalate(mi, k, float(ana[k])))
+                table.set(ui, uj, mi, max(value, 1e-6))
 
         plan = self._run_dp(table)
-        total = prof_cost + train_cost + infer_cost
+        total = prof_cost + train_cost + infer_cost + extra_prof
+        breakdown = {"profiling": prof_cost, "training": train_cost,
+                     "inference": infer_cost}
+        if extra_prof:
+            breakdown["escalation"] = extra_prof
         return SearchResult(
-            f"predtop-{kind}", plan, total,
-            {"profiling": prof_cost, "training": train_cost,
-             "inference": infer_cost},
-            self._score_plan(plan), len(table.values))
+            f"predtop-{kind}", plan, total, breakdown,
+            self._score_plan(plan), len(table.values),
+            trust=stats, degradations=degradations)
 
     # -------------------------------------------------------------- frontend
     def run(self, approach: str) -> SearchResult:

@@ -471,7 +471,8 @@ def _run_one_cell(task: tuple) -> tuple:
     family, scenario, fraction, kind, profile = task
     cell = run_cell(family, scenario, fraction, kind, profile)
     return (cell.scenario_key, cell.fraction, cell.kind, cell.mre,
-            cell.epochs_run, cell.train_seconds)
+            cell.epochs_run, cell.train_seconds, cell.diverged,
+            cell.retrained)
 
 
 @dataclass
@@ -484,6 +485,10 @@ class GridRunReport:
     attempts: int
     wall_seconds: float
     mode: str
+    #: cells whose first fit diverged and were retrained with a fresh seed
+    retrained: int = 0
+    #: cells still diverged after the retraining pass
+    diverged: int = 0
 
     @property
     def completed(self) -> int:
@@ -536,18 +541,24 @@ def run_grid_report(
                              retries=retries, labels=labels,
                              manifest_root=cache.root, run_id=run_id)
     out: dict[tuple[str, float, str], float] = {}
+    n_retrained = n_diverged = 0
     for row in outcome.results:
         if row is None:
             continue
-        (scenario_key, fraction, kind, mre, _epochs, _secs) = row
+        (scenario_key, fraction, kind, mre, _epochs, _secs,
+         diverged, retrained) = row
+        n_retrained += bool(retrained)
+        n_diverged += bool(diverged)
         if not np.isnan(mre):
             out[(scenario_key, fraction, kind)] = mre
     report = GridRunReport(out, outcome.failures, len(cells),
                            outcome.attempts,
-                           time.perf_counter() - start, outcome.mode)
+                           time.perf_counter() - start, outcome.mode,
+                           retrained=n_retrained, diverged=n_diverged)
     append_event(cache.root, "grid_done", run=run_id,
                  completed=report.completed, failed=len(report.failures),
                  attempts=report.attempts, mode=report.mode,
+                 retrained=report.retrained, diverged=report.diverged,
                  wall_seconds=round(report.wall_seconds, 3))
     return report
 

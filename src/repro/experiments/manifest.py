@@ -98,4 +98,13 @@ def summarize(events: list[dict]) -> str:
         for e in failed[-20:]:
             lines.append(f"  {e.get('label', e.get('index', '?'))}: "
                          f"{e.get('class', '?')} — {e.get('detail', '')}")
+    guards = [e for e in events if e.get("event") == "trust_guard"]
+    if guards:
+        actions = Counter(e.get("action", "?") for e in guards)
+        lines.append("trust guards (divergence retraining / escalations):")
+        for name in sorted(actions):
+            lines.append(f"  {name:<18s} {actions[name]}")
+        for e in guards[-10:]:
+            lines.append(f"  {e.get('key', e.get('label', '?'))}: "
+                         f"{e.get('site', '?')} → {e.get('action', '?')}")
     return "\n".join(lines)

@@ -16,8 +16,10 @@ import numpy as np
 
 from ..predictors.base import PREDICTOR_KINDS, LatencyPredictor
 from ..predictors.dataset import split_dataset
+from ..predictors.trust import RETRY_SEED_OFFSET
 from .cache import global_cache
 from .corpus import stage_corpus
+from .manifest import append_event
 from .profiles import ExperimentProfile
 from .scenarios import Scenario
 
@@ -30,6 +32,10 @@ class CellResult:
     mre: float
     epochs_run: int
     train_seconds: float
+    #: the (final) fit ended in a detected divergence
+    diverged: bool = False
+    #: the first fit diverged and the cell was retrained with a fresh seed
+    retrained: bool = False
 
 
 def cell_key(profile: ExperimentProfile, family: str, scenario: Scenario,
@@ -54,7 +60,8 @@ def run_cell(
     if use_cache and key in cache:
         v = cache.get(key)
         return CellResult(scenario.key, fraction, kind,
-                          v["mre"], v["epochs"], v["seconds"])
+                          v["mre"], v["epochs"], v["seconds"],
+                          v.get("diverged", False), v.get("retrained", False))
     if os.environ.get("REPRO_ONLY_CACHED"):
         # partial-render mode: report the cell as missing rather than
         # spending minutes training it inside a reporting pass
@@ -64,11 +71,31 @@ def run_cell(
     split = split_dataset(samples, fraction, 0.1, seed)
     predictor = LatencyPredictor(kind, seed=seed)
     result = predictor.fit(split.train, split.val, profile.train_config(seed))
+    retrained = False
+    if result.diverged:
+        # fresh-seed retraining pass (attempt 1, so a transient
+        # ``train_diverge`` chaos rule does not refire); if this fit
+        # diverges too the best-so-far state still evaluates, and the
+        # result is flagged so reports can surface it
+        retrained = True
+        append_event(cache.root, "trust_guard", site="train_diverge",
+                     action="retrain", key=key)
+        wall = result.wall_seconds
+        predictor = LatencyPredictor(kind, seed=seed + RETRY_SEED_OFFSET)
+        result = predictor.fit(split.train, split.val,
+                               profile.train_config(seed + RETRY_SEED_OFFSET),
+                               fault_attempt=1)
+        result.wall_seconds += wall
+        if result.diverged:
+            append_event(cache.root, "trust_guard", site="train_diverge",
+                         action="degraded", key=key)
     mre = predictor.evaluate_mre(split.test)
     cache.set(key, {"mre": mre, "epochs": result.epochs_run,
-                    "seconds": result.wall_seconds})
+                    "seconds": result.wall_seconds,
+                    "diverged": result.diverged, "retrained": retrained})
     return CellResult(scenario.key, fraction, kind, mre,
-                      result.epochs_run, result.wall_seconds)
+                      result.epochs_run, result.wall_seconds,
+                      result.diverged, retrained)
 
 
 def mre_grid(

@@ -15,6 +15,7 @@ from .inject import (
     corrupt_file,
     faults_active,
     fire,
+    garbage_predictions,
     mark_worker,
 )
 from .spec import CRASH_EXIT_CODE, SITES, FaultRule, FaultSpecError, parse_faults
@@ -23,5 +24,5 @@ __all__ = [
     "ENV_VAR", "SITES", "CRASH_EXIT_CODE",
     "FaultRule", "FaultSpecError", "parse_faults",
     "InjectedFault", "active_plan", "faults_active",
-    "check", "fire", "corrupt_file", "mark_worker",
+    "check", "fire", "corrupt_file", "garbage_predictions", "mark_worker",
 ]

@@ -16,9 +16,12 @@ Behaviors of :func:`fire`:
   must reclaim the worker;
 * ``io_error`` — raises ``OSError`` (transient, absorbed by bounded
   write retries);
-* ``shard_corrupt`` / ``train_diverge`` — decision-only sites: callers
-  use :func:`check` and apply the damage themselves
-  (:func:`corrupt_file`, a NaN loss).
+* ``predictor_error`` — raises :class:`InjectedFault` so the search's
+  escalation policy must absorb a throwing predictor;
+* ``shard_corrupt`` / ``train_diverge`` / ``predict_garbage`` —
+  decision-only sites: callers use :func:`check` and apply the damage
+  themselves (:func:`corrupt_file`, a NaN loss,
+  :func:`garbage_predictions`).
 
 Plans are parsed once per distinct ``REPRO_FAULTS`` value and decisions
 are pure functions of ``(rule, index, attempt)``, so parent, forked
@@ -31,7 +34,7 @@ from __future__ import annotations
 import os
 import time
 
-from .spec import CRASH_EXIT_CODE, FaultRule, parse_faults
+from .spec import CRASH_EXIT_CODE, FaultRule, _unit_hash, parse_faults
 
 ENV_VAR = "REPRO_FAULTS"
 
@@ -89,7 +92,29 @@ def fire(site: str, index: int, attempt: int = 0) -> None:
     if site == "io_error":
         raise OSError(
             f"injected transient io_error at index {index} attempt {attempt}")
+    if site == "predictor_error":
+        raise InjectedFault(
+            f"injected predictor_error at index {index} attempt {attempt}")
     raise InjectedFault(f"site {site!r} is decision-only; use check()")
+
+
+def garbage_predictions(values, index: int, rule: FaultRule):
+    """Deterministically scramble a prediction vector (a lying predictor).
+
+    Each value is multiplied or divided by 1000 depending on a stable
+    hash of ``(rule seed, index, position)`` — far outside any physical
+    latency envelope, so a bounds guard must catch every element, while
+    the damage is a pure function of the rule and coordinates (a chaos
+    run reproduces exactly).
+    """
+    import numpy as np
+
+    arr = np.array(values, dtype=np.float64, copy=True)
+    flat = arr.reshape(-1)
+    for j in range(flat.size):
+        draw = _unit_hash(f"{rule.seed}/predict_garbage/{index}/{j}")
+        flat[j] *= 1000.0 if draw < 0.5 else 1.0 / 1000.0
+    return arr
 
 
 def corrupt_file(path: os.PathLike | str) -> None:

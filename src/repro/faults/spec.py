@@ -16,13 +16,19 @@ Sites (where the harness consults the plan):
 ``shard_corrupt``  the just-published shard file is scribbled over,
                    exercising checksum quarantine on the next read;
 ``train_diverge``  the training loss of one epoch becomes NaN,
-                   exercising the trainer's divergence guard.
+                   exercising the trainer's divergence guard;
+``predict_garbage``  a predictor's output vector is deterministically
+                   scrambled (each value multiplied or divided by 1000),
+                   exercising the trust layer's bounds guards;
+``predictor_error``  the predictor raises at inference time, exercising
+                   the search's analytical-fallback escalation.
 
 Common parameters:
 
 ``at``        ``|``-separated indices the rule covers (cell index for the
               engine sites, shard number for the cache sites, epoch for
-              ``train_diverge``); omitted = every index;
+              ``train_diverge``, submesh/call index for the predictor
+              sites); omitted = every index;
 ``attempts``  ``|``-separated attempt numbers the rule fires on
               (default ``0`` — only the first try, so retries succeed);
               ``*`` = every attempt;
@@ -42,7 +48,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 SITES = ("worker_crash", "cell_hang", "io_error", "shard_corrupt",
-         "train_diverge")
+         "train_diverge", "predict_garbage", "predictor_error")
 
 #: exit status an injected worker crash dies with (visible in manifests)
 CRASH_EXIT_CODE = 73

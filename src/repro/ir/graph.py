@@ -146,17 +146,34 @@ class Graph:
     def validate(self) -> None:
         """Check the structural invariants; raise ``ValueError`` on breakage.
 
-        * ids are dense 0..n-1 and match list position;
-        * every operand id precedes its consumer (topological order, which
-          also implies acyclicity);
+        * ids are dense 0..n-1, unique, and match list position;
+        * every edge references an existing node (no dangling operands);
+        * every operand id strictly precedes its consumer (topological
+          order, which also rules out cycles and self-loops);
         * input/literal nodes have no operands; output nodes have exactly one.
+
+        Feature extraction (:func:`repro.ir.features.graph_features`) and
+        the analytical predictor both assume these invariants; callers
+        feeding externally-built graphs run this first so a malformed
+        DAG fails loudly instead of silently producing garbage features.
         """
+        n = len(self.nodes)
+        seen: set[int] = set()
         for pos, node in enumerate(self.nodes):
+            if node.id in seen:
+                raise ValueError(f"duplicate node id %{node.id}")
+            seen.add(node.id)
             if node.id != pos:
                 raise ValueError(f"node id {node.id} at position {pos}")
             for i in node.inputs:
-                if i >= node.id:
-                    raise ValueError(f"edge %{i} -> %{node.id} breaks topo order")
+                if not 0 <= i < n:
+                    raise ValueError(f"dangling edge: %{node.id} references "
+                                     f"undefined operand %{i}")
+                if i == node.id:
+                    raise ValueError(f"self-cycle at node %{node.id}")
+                if i > node.id:
+                    raise ValueError(f"edge %{i} -> %{node.id} breaks "
+                                     f"topological order (cycle)")
             if node.node_type in ("input", "literal") and node.inputs:
                 raise ValueError(f"{node.node_type} node %{node.id} has operands")
             if node.node_type == "output" and len(node.inputs) != 1:

@@ -16,6 +16,16 @@ from .gcn import GCNModel
 from .metrics import mean_absolute_error, mre, rmse
 from .serialize import load_predictor, save_predictor
 from .trainer import TrainConfig, TrainResult, evaluate_loss, train_model
+from .trust import (
+    DEFAULT_ALPHA,
+    EnsembleFitResult,
+    EnsemblePredictor,
+    FeatureStats,
+    GuardedPrediction,
+    TrustConfig,
+    TrustStats,
+    assess,
+)
 
 __all__ = [
     "StageSample", "Normalizer", "DatasetSplit", "split_dataset",
@@ -26,4 +36,6 @@ __all__ = [
     "mre", "mean_absolute_error", "rmse",
     "AnalyticalPredictor", "analytical_estimate",
     "save_predictor", "load_predictor",
+    "TrustConfig", "TrustStats", "FeatureStats", "GuardedPrediction",
+    "EnsemblePredictor", "EnsembleFitResult", "assess", "DEFAULT_ALPHA",
 ]

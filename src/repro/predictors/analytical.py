@@ -39,6 +39,7 @@ def analytical_estimate(graph: Graph, gpu: GPUSpec) -> float:
     forward + backward + update, so a fixed 3x multiplier approximates
     the training step the profiled latency measures.
     """
+    graph.validate()
     total = 0.0
     for node in graph.nodes:
         if node.node_type != "operator":

@@ -58,6 +58,7 @@ class LatencyPredictor:
         *,
         checkpoint_path=None,
         resume: bool = False,
+        fault_attempt: int = 0,
     ) -> TrainResult:
         """Train from scratch on the given splits.
 
@@ -65,7 +66,9 @@ class LatencyPredictor:
         :func:`repro.predictors.trainer.train_model`: an interrupted fit
         resumed from its checkpoint reproduces the uninterrupted one
         bit-for-bit (model construction and normalizer fitting are
-        deterministic in the seed).
+        deterministic in the seed).  ``fault_attempt`` is the attempt
+        coordinate for the ``train_diverge`` chaos site (1 on a
+        retraining pass after a detected divergence).
         """
         self.normalizer = Normalizer.fit(train, self.target_transform)
         self.model = build_model(self.kind, seed=self.seed,
@@ -74,7 +77,8 @@ class LatencyPredictor:
         self.train_result = train_model(self.model, train, val,
                                         self.normalizer, cfg,
                                         checkpoint_path=checkpoint_path,
-                                        resume=resume)
+                                        resume=resume,
+                                        fault_attempt=fault_attempt)
         return self.train_result
 
     def predict_samples(self, samples: list[StageSample],

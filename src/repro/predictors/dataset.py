@@ -37,6 +37,10 @@ class StageSample:
 
     def encode(self) -> "StageSample":
         if self.features is None:
+            # feature extraction assumes a well-formed DAG (dense ids,
+            # topological edges); fail loudly on a malformed graph before
+            # it turns into silently-garbage encodings
+            self.graph.validate()
             self.features = graph_features(self.graph).astype(np.float32)
             self.reach = reachability_mask(self.graph)
             self.depths = node_depths(self.graph)

@@ -1,25 +1,53 @@
-"""Prediction-quality metrics."""
+"""Prediction-quality metrics.
+
+All three metrics validate their inputs the same way: empty inputs and
+shape mismatches raise ``ValueError`` instead of silently returning
+``nan`` (``np.mean([])``) — a metric over nothing is a harness bug, not
+a measurement.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+#: floor for relative-error denominators: a profiled latency this close
+#: to zero is numerically meaningless (real stage latencies are orders
+#: of magnitude above it), so MRE divides by at least this much rather
+#: than exploding
+EPS_LATENCY = 1e-9
 
-def mre(pred: np.ndarray, true: np.ndarray) -> float:
-    """Mean relative error in percent (Eqn 5)."""
+
+def _validated(pred, true) -> tuple[np.ndarray, np.ndarray]:
     pred = np.asarray(pred, dtype=np.float64)
     true = np.asarray(true, dtype=np.float64)
     if pred.shape != true.shape:
         raise ValueError(f"shape mismatch {pred.shape} vs {true.shape}")
-    if np.any(true <= 0):
-        raise ValueError("true latencies must be positive")
-    return float(np.mean(np.abs((pred - true) / true)) * 100.0)
+    if pred.size == 0:
+        raise ValueError("cannot compute a metric over empty inputs")
+    return pred, true
+
+
+def mre(pred: np.ndarray, true: np.ndarray) -> float:
+    """Mean relative error in percent (Eqn 5).
+
+    Negative true latencies are rejected (they cannot come from a
+    profiler); exact or near zeros are guarded with :data:`EPS_LATENCY`
+    in the denominator so one degenerate measurement cannot turn the
+    whole grid cell into ``inf``.
+    """
+    pred, true = _validated(pred, true)
+    if np.any(true < 0):
+        raise ValueError("true latencies must be non-negative")
+    denom = np.maximum(true, EPS_LATENCY)
+    return float(np.mean(np.abs((pred - true) / denom)) * 100.0)
 
 
 def mean_absolute_error(pred: np.ndarray, true: np.ndarray) -> float:
-    return float(np.mean(np.abs(np.asarray(pred) - np.asarray(true))))
+    pred, true = _validated(pred, true)
+    return float(np.mean(np.abs(pred - true)))
 
 
 def rmse(pred: np.ndarray, true: np.ndarray) -> float:
-    d = np.asarray(pred, dtype=np.float64) - np.asarray(true, dtype=np.float64)
+    pred, true = _validated(pred, true)
+    d = pred - true
     return float(np.sqrt(np.mean(d * d)))

@@ -196,6 +196,7 @@ def train_model(
     checkpoint_path: str | os.PathLike | None = None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    fault_attempt: int = 0,
 ) -> TrainResult:
     """Train ``model`` in place; returns the loss history.
 
@@ -203,6 +204,12 @@ def train_model(
     atomically every ``checkpoint_every`` epochs; ``resume=True`` picks
     up from the latest checkpoint (if any) and reproduces the
     uninterrupted run bit-for-bit.
+
+    ``fault_attempt`` is the attempt coordinate the ``train_diverge``
+    chaos site is consulted with: a retraining pass after a detected
+    divergence passes ``1`` so default fault rules (first attempt only)
+    let the retry converge, while ``attempts=*`` rules model a
+    persistently diverging configuration.
     """
     cfg = cfg or TrainConfig()
     fn = _loss_fn(cfg.loss)
@@ -273,7 +280,7 @@ def train_model(
             seen += b.size
         sched.step()
         tl = epoch_loss / max(seen, 1)
-        if faults.check("train_diverge", epoch) is not None:
+        if faults.check("train_diverge", epoch, fault_attempt) is not None:
             tl = float("nan")
         result.train_loss.append(tl)
 

@@ -64,6 +64,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "optimization cost" in out
 
+    def test_search_json_output(self, capsys):
+        import json
+
+        rc = main(["search", "--family", "gpt", "--layers", "2",
+                   "--units", "3", "--approach", "full",
+                   "--microbatches", "4", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        r = data["full"]
+        assert r["latency_ms"] > 0 and r["stages"] >= 1
+        assert r["degradations"] == []
+        assert r["trust"] is None  # full profiling has nothing to guard
+
     def test_bench_table5_writes_artifacts(self, capsys, tmp_path,
                                            monkeypatch):
         import repro.experiments.cache as cache_mod

@@ -69,6 +69,47 @@ class TestGraph:
         with pytest.raises(ValueError):
             g.validate()
 
+    def test_validate_rejects_duplicate_ids(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        g.add_node("neg", (a.id,), a.out)
+        g.nodes[1].id = 0  # corrupt: two nodes claim id 0
+        with pytest.raises(ValueError, match="duplicate"):
+            g.validate()
+
+    def test_validate_rejects_dangling_edge(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), a.out)
+        g.nodes[1].inputs = (5,)  # corrupt: operand %5 does not exist
+        with pytest.raises(ValueError, match="dangling"):
+            g.validate()
+        g.nodes[1].inputs = (-1,)
+        with pytest.raises(ValueError, match="dangling"):
+            g.validate()
+
+    def test_validate_rejects_cycles(self):
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        b = g.add_node("neg", (a.id,), a.out)
+        g.nodes[0].inputs = (1,)  # corrupt: 0 -> 1 -> 0
+        g.nodes[0].node_type = "operator"
+        with pytest.raises(ValueError, match="topological order"):
+            g.validate()
+        g.nodes[0].inputs = (0,)  # self-loop
+        with pytest.raises(ValueError, match="self-cycle"):
+            g.validate()
+
+    def test_encode_rejects_malformed_graph(self):
+        from repro.predictors.dataset import StageSample
+
+        g = Graph()
+        a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")
+        g.add_node("neg", (a.id,), a.out)
+        g.nodes[1].inputs = (7,)  # corrupt after construction
+        with pytest.raises(ValueError, match="dangling"):
+            StageSample(g, latency=1.0).encode()
+
     def test_depths_chain(self):
         g = Graph()
         a = g.add_node("iota", (), TensorSpec((2,), "float32"), "input")

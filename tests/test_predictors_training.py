@@ -31,9 +31,24 @@ class TestMetrics:
         with pytest.raises(ValueError):
             mre(np.ones(3), np.ones(4))
 
-    def test_mre_positive_truth_required(self):
+    def test_mre_negative_truth_rejected(self):
         with pytest.raises(ValueError):
-            mre(np.ones(2), np.array([1.0, 0.0]))
+            mre(np.ones(2), np.array([1.0, -0.5]))
+
+    def test_mre_near_zero_truth_guarded(self):
+        # a degenerate ~zero measurement must not turn the cell into inf:
+        # the denominator is floored at EPS_LATENCY
+        from repro.predictors.metrics import EPS_LATENCY
+
+        value = mre(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(value)
+        assert value == pytest.approx(
+            100.0 * 0.5 * (0.0 + 2.0 / EPS_LATENCY))
+
+    def test_empty_inputs_rejected(self):
+        for fn in (mre, mean_absolute_error, rmse):
+            with pytest.raises(ValueError):
+                fn(np.array([]), np.array([]))
 
     def test_mae_rmse(self):
         p, t = np.array([2.0, 0.0]), np.array([0.0, 0.0])
