@@ -1,0 +1,66 @@
+"""Micro-benchmark of the predictor hot path (fast vs seed baseline).
+
+Statistical timing of one predictor fit under the fast configuration and
+under the seed configuration (reference autograd engine, per-forward
+masks, no encoding cache), plus a one-shot run of the full harness that
+asserts the bit-identity differential and persists ``BENCH_train.json``
+under ``results/<profile>/``.  The checked-in repo-root
+``BENCH_train.json`` is regenerated with ``repro bench train`` instead.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.trainbench import (
+    bench_corpus,
+    run_train_microbench,
+    seed_mode,
+)
+from repro.predictors import LatencyPredictor, StageSample, TrainConfig
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+CFG = TrainConfig(epochs=3, patience=3, batch_size=8, lr=2e-3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def corpus(profile):
+    _, _, _, rows = bench_corpus(profile, quick=True)
+    return rows
+
+
+def _fit(rows):
+    samples = [StageSample(g, lat, sid) for (g, lat, sid) in rows]
+    pred = LatencyPredictor(seed=0)
+    pred.fit(samples[3:], samples[:3], CFG)
+    return pred
+
+
+def test_train_fast(benchmark, corpus):
+    pred = benchmark(_fit, corpus)
+    assert pred.train_result is not None
+
+
+def test_train_seed_baseline(benchmark, corpus):
+    def run():
+        with seed_mode():
+            return _fit(corpus)
+
+    pred = benchmark(run)
+    assert pred.train_result is not None
+
+
+def test_train_harness(profile):
+    result = run_train_microbench(profile, quick=True)
+    assert result["differential"]["identical"]
+    # the composite pipeline has the most margin on noisy shared runners;
+    # the representative numbers are pinned by the checked-in BENCH_train.json
+    assert result["overall"]["pipeline_speedup"] > 1.0
+    out = RESULTS_DIR / profile.name / "BENCH_train.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"\npredictor pipeline bench: headline (search_predtop) "
+          f"{result['overall']['headline_search_speedup']:.2f}x "
+          f"[saved to {out}]")

@@ -227,6 +227,28 @@ def cmd_bench(args) -> int:
               f"[saved to {out}]")
         return 0 if ok else 1
 
+    if args.target == "train":
+        import json
+
+        from .perf import run_train_microbench
+
+        result = run_train_microbench(profile, quick=args.quick,
+                                      jobs=args.jobs or None)
+        out = Path(args.output or Path(__file__).resolve().parents[2]
+                   ) / "BENCH_train.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        ok = result["differential"]["identical"]
+        per_site = "  ".join(
+            f"{name} {site['speedup']:.2f}x"
+            for name, site in result["sites"].items())
+        print(f"predictor pipeline bench: {per_site}")
+        print(f"headline (search_predtop) "
+              f"{result['overall']['headline_search_speedup']:.2f}x, "
+              f"differential {'identical' if ok else 'MISMATCH'} "
+              f"[saved to {out}]")
+        return 0 if ok else 1
+
     jobs = args.jobs if args.jobs else n_jobs()
     families = ("gpt", "moe") if args.family == "both" else (args.family,)
     out_dir = Path(args.output or
@@ -330,12 +352,15 @@ def make_parser() -> argparse.ArgumentParser:
                       "engine")
     p.add_argument("target",
                    choices=("table5", "table6", "tables", "usecase", "micro",
-                            "report"),
+                            "train", "report"),
                    help="which artifact to (re)compute (micro: the intra-op "
-                        "DP micro-benchmark -> BENCH_intraop.json; report: "
-                        "summarize the run-manifest journal)")
+                        "DP micro-benchmark -> BENCH_intraop.json; train: "
+                        "the predictor-pipeline benchmark -> "
+                        "BENCH_train.json; report: summarize the "
+                        "run-manifest journal)")
     p.add_argument("--quick", action="store_true",
-                   help="micro only: reduced case set / repeats (CI smoke)")
+                   help="micro/train only: reduced case set / repeats "
+                        "(CI smoke)")
     p.add_argument("--family", choices=("gpt", "moe", "both"), default="both")
     p.add_argument("--jobs", type=int, default=0,
                    help="engine workers (0 = REPRO_JOBS / cpu count)")

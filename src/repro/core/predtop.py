@@ -215,12 +215,12 @@ class PredTOP:
         elif not tcfg.enabled:
             preds = self.predictor.predict_graphs(graphs)
         else:
-            mean, std = self.ensemble.predict_graphs(graphs)
+            mean, std, ood = self.ensemble.predict_many(graphs)
             ana = self._analytical.predict_graphs(graphs)
             preds = []
             for k, g in enumerate(graphs):
                 guarded = assess(float(mean[k]), float(std[k]),
-                                 self.ensemble.feature_stats.ood_score(g),
+                                 float(ood[k]),
                                  float(ana[k]), tcfg)
                 self.trust_stats.record(guarded)
                 if guarded.trusted:

@@ -270,9 +270,8 @@ class PlanSearcher:
                 t0 = time.perf_counter()
                 faults.fire("predictor_error", mi)
                 if rest_graphs:
-                    mean, std = ensemble.predict_graphs(rest_graphs)
-                    ood = np.array([ensemble.feature_stats.ood_score(g)
-                                    for g in rest_graphs])
+                    # one batched pass over every unprofiled stage
+                    mean, std, ood = ensemble.predict_many(rest_graphs)
                 else:
                     mean = std = ood = np.empty(0)
                 return ("ok", mean, std, ood, wall,

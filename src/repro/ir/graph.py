@@ -88,6 +88,9 @@ class Graph:
         self.name = name
         self.nodes: list[Node] = []
         self._consumers: dict[int, list[int]] = {}
+        #: memo for :func:`repro.ir.serialize.canonical_hash` — the graph is
+        #: append-only, so add_node is the only invalidation point
+        self._canonical_hash: str | None = None
 
     # ------------------------------------------------------------------ build
     def add_node(
@@ -107,6 +110,7 @@ class Graph:
                 raise ValueError(f"node {nid} references undefined operand %{i}")
         node = Node(nid, op, inputs, out, node_type, params or {}, name)
         self.nodes.append(node)
+        self._canonical_hash = None  # structure changed; drop memoized hash
         self._consumers[nid] = []
         for i in inputs:
             self._consumers[i].append(nid)

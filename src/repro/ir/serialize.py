@@ -83,10 +83,23 @@ def canonical_graph_dict(graph: Graph) -> dict[str, Any]:
 
 
 def canonical_hash(graph: Graph) -> str:
-    """Hex SHA-256 of the canonical (name-free) graph structure."""
+    """Hex SHA-256 of the canonical (name-free) graph structure.
+
+    Memoized on the graph object: graphs are append-only, so the digest
+    is invalidated only by ``Graph.add_node``.  ``getattr`` keeps this
+    working for graph objects deserialized without the memo slot.
+    """
+    memo = getattr(graph, "_canonical_hash", None)
+    if memo is not None:
+        return memo
     text = json.dumps(canonical_graph_dict(graph), sort_keys=True,
                       separators=(",", ":"))
-    return hashlib.sha256(text.encode()).hexdigest()
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    try:
+        graph._canonical_hash = digest
+    except AttributeError:  # slotted/frozen graph stand-ins in tests
+        pass
+    return digest
 
 
 def _encode_params(params: dict[str, Any]) -> dict[str, Any]:

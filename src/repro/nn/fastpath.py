@@ -1,0 +1,41 @@
+"""Engine fast-path toggle (``REPRO_NN_FAST``).
+
+The autograd engine has two execution strategies that are differentially
+tested to be *bit-identical* (same float ops in the same order, value-equal
+gradients and weights):
+
+* **fast** (default) — gradient buffers are stolen from provably-fresh
+  temporaries instead of being re-accumulated into ``zeros_like`` scratch,
+  constant operands skip their gradient computation entirely, reduction
+  backwards hand out broadcast *views* instead of materialized copies, and
+  attention layers consume the precomputed additive masks carried on the
+  batch;
+* **reference** — the original allocate-and-accumulate strategy, kept as
+  the oracle for the differential tests and as the baseline side of
+  ``benchmarks/bench_train.py``.
+
+``REPRO_NN_FAST=off`` selects the reference strategy for a whole process;
+:func:`set_fast` flips it at runtime (tests, A/B benchmarking).  This is a
+debugging / benchmarking escape hatch, not a results knob — both paths
+produce identical numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FAST: bool = os.environ.get("REPRO_NN_FAST", "").strip().lower() not in (
+    "off", "0", "false", "no")
+
+
+def enabled() -> bool:
+    """Is the fast execution strategy active?"""
+    return _FAST
+
+
+def set_fast(on: bool) -> bool:
+    """Select the strategy at runtime; returns the previous setting."""
+    global _FAST
+    prev = _FAST
+    _FAST = bool(on)
+    return prev

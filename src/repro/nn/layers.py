@@ -24,15 +24,26 @@ class Module:
     """Minimal module base with recursive parameter discovery."""
 
     def parameters(self) -> list[Tensor]:
+        # dedupe by identity: a tied parameter reachable through several
+        # attributes must be updated (and zeroed, and counted) exactly once
         out: list[Tensor] = []
+        seen: set[int] = set()
         for v in self.__dict__.values():
-            out.extend(_collect(v))
+            for p in _collect(v):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    out.append(p)
         return out
 
     def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        # first-visit name wins for tied parameters, mirroring parameters()
         out: list[tuple[str, Tensor]] = []
+        seen: set[int] = set()
         for k, v in self.__dict__.items():
-            out.extend(_collect_named(v, f"{prefix}{k}"))
+            for name, p in _collect_named(v, f"{prefix}{k}"):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    out.append((name, p))
         return out
 
     def state_dict(self) -> dict[str, Array]:
@@ -151,7 +162,7 @@ class MaskedMultiHeadAttention(Module):
 
     def __init__(self, dim: int, n_heads: int, rng: np.random.Generator) -> None:
         if dim % n_heads:
-            raise ValueError("dim must divide n_heads")
+            raise ValueError("n_heads must divide dim")
         self.n_heads = n_heads
         self.head_dim = dim // n_heads
         self.wq = Linear(dim, dim, rng)
@@ -168,7 +179,12 @@ class MaskedMultiHeadAttention(Module):
 
         q, k, v = heads(self.wq(x)), heads(self.wk(x)), heads(self.wv(x))
         scores = (q @ k.swapaxes(-1, -2)) * np.float32(1.0 / np.sqrt(hd))
-        add_mask = np.where(attn_mask[:, None, :, :], np.float32(0.0), _NEG)
+        if attn_mask.dtype == np.bool_:
+            add_mask = np.where(attn_mask[:, None, :, :], np.float32(0.0), _NEG)
+        else:
+            # precomputed additive bias, already (B, 1, N, N) float32 —
+            # bit-identical to the np.where above by construction
+            add_mask = attn_mask
         attn = softmax(scores, axis=-1, mask=add_mask)
         ctx = attn @ v
         ctx = ctx.transpose(0, 2, 1, 3).reshape(B, N, D)
@@ -199,7 +215,7 @@ class GATConv(Module):
     def __init__(self, d_in: int, d_out: int, rng: np.random.Generator,
                  n_heads: int = 1) -> None:
         if d_out % n_heads:
-            raise ValueError("d_out must divide n_heads")
+            raise ValueError("n_heads must divide d_out")
         self.n_heads = n_heads
         self.head_dim = d_out // n_heads
         self.lin = Linear(d_in, d_out, rng, bias=False)

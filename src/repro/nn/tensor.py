@@ -19,6 +19,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from . import fastpath
+
 Array = np.ndarray
 
 _GRAD_ENABLED = True
@@ -71,7 +73,7 @@ class Tensor:
         self.data: Array = _as_array(data)
         self.grad: Array | None = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Callable[[], None] | None = None
+        self._backward: Callable[["Tensor"], None] | None = None
         self._prev: tuple["Tensor", ...] = ()
         self.name = name
 
@@ -108,23 +110,66 @@ class Tensor:
             out.requires_grad = any(p.requires_grad for p in parents)
             if out.requires_grad and backward is not None:
                 out._prev = tuple(parents)
-                out._backward = lambda: backward(out)
+                # fast: store the raw closure (it captures only the parents
+                # and receives the node as an argument) — no node -> closure
+                # -> node reference cycle, so the tape dies by refcounting
+                # instead of stressing the cycle GC every training step.
+                # reference: the original out-capturing lambda (cyclic).
+                out._backward = (backward if fastpath._FAST
+                                 else (lambda _node: backward(out)))
         return out
 
-    def _accum(self, grad: Array) -> None:
+    def _accum(self, grad: Array, own: bool = False) -> None:
+        """Accumulate ``grad`` into ``self.grad``.
+
+        ``own=True`` asserts ``grad`` is a freshly-allocated temporary no
+        one else aliases (or a pass-through buffer whose previous owner's
+        backward has already run), so the first accumulation may *steal*
+        it instead of copying into ``zeros_like`` scratch.  Only set it
+        for provably fresh arrays — never for views of live buffers.
+        The dtype/shape check keeps the legacy cast-and-broadcast
+        semantics for mixed-precision gradients (e.g. ``max``'s float64
+        tie-splitting mask).
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            if (fastpath._FAST and grad.dtype == self.data.dtype
+                    and grad.shape == self.data.shape):
+                self.grad = grad if own else grad.copy()
+            else:
+                self.grad = np.zeros_like(self.data)
+                self.grad += grad
+        else:
+            self.grad += grad
 
     # -------------------------------------------------------------- binary
+    # Fast-path notes (gated on ``fastpath._FAST``; the else branches are
+    # the reference strategy, bit-identical by the differential tests):
+    # constant operands skip their gradient computation entirely — the
+    # reference path builds the full gradient array only for ``_accum`` to
+    # discard it — and provably-fresh temporaries are handed to ``_accum``
+    # with ``own=True``.  A same-shape add/sub passes ``out.grad`` through
+    # unchanged; at that point ``out``'s backward has already run (reverse
+    # topological order) and nothing reads ``out.grad`` again, so exactly
+    # one parent may steal the buffer — any second taker must copy.
     def __add__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
 
         def backward(out: "Tensor") -> None:
-            self._accum(_unbroadcast(out.grad, self.shape))
-            other._accum(_unbroadcast(out.grad, other.shape))
+            og = out.grad
+            if fastpath._FAST:
+                taken = False
+                if self.requires_grad:
+                    g = _unbroadcast(og, self.shape)
+                    taken = g is og
+                    self._accum(g, own=True)
+                if other.requires_grad:
+                    g = _unbroadcast(og, other.shape)
+                    other._accum(g, own=(g is not og) or not taken)
+            else:
+                self._accum(_unbroadcast(og, self.shape))
+                other._accum(_unbroadcast(og, other.shape))
 
         return self._make(self.data + other.data, (self, other), backward)
 
@@ -134,8 +179,15 @@ class Tensor:
         other = other if isinstance(other, Tensor) else Tensor(other)
 
         def backward(out: "Tensor") -> None:
-            self._accum(_unbroadcast(out.grad, self.shape))
-            other._accum(_unbroadcast(-out.grad, other.shape))
+            og = out.grad
+            if fastpath._FAST:
+                if self.requires_grad:
+                    self._accum(_unbroadcast(og, self.shape), own=True)
+                if other.requires_grad:
+                    other._accum(_unbroadcast(-og, other.shape), own=True)
+            else:
+                self._accum(_unbroadcast(og, self.shape))
+                other._accum(_unbroadcast(-og, other.shape))
 
         return self._make(self.data - other.data, (self, other), backward)
 
@@ -146,8 +198,17 @@ class Tensor:
         other = other if isinstance(other, Tensor) else Tensor(other)
 
         def backward(out: "Tensor") -> None:
-            self._accum(_unbroadcast(out.grad * other.data, self.shape))
-            other._accum(_unbroadcast(out.grad * self.data, other.shape))
+            og = out.grad
+            if fastpath._FAST:
+                if self.requires_grad:
+                    self._accum(_unbroadcast(og * other.data, self.shape),
+                                own=True)
+                if other.requires_grad:
+                    other._accum(_unbroadcast(og * self.data, other.shape),
+                                 own=True)
+            else:
+                self._accum(_unbroadcast(og * other.data, self.shape))
+                other._accum(_unbroadcast(og * self.data, other.shape))
 
         return self._make(self.data * other.data, (self, other), backward)
 
@@ -157,9 +218,19 @@ class Tensor:
         other = other if isinstance(other, Tensor) else Tensor(other)
 
         def backward(out: "Tensor") -> None:
-            self._accum(_unbroadcast(out.grad / other.data, self.shape))
-            other._accum(_unbroadcast(
-                -out.grad * self.data / (other.data * other.data), other.shape))
+            og = out.grad
+            if fastpath._FAST:
+                if self.requires_grad:
+                    self._accum(_unbroadcast(og / other.data, self.shape),
+                                own=True)
+                if other.requires_grad:
+                    other._accum(_unbroadcast(
+                        -og * self.data / (other.data * other.data),
+                        other.shape), own=True)
+            else:
+                self._accum(_unbroadcast(og / other.data, self.shape))
+                other._accum(_unbroadcast(
+                    -og * self.data / (other.data * other.data), other.shape))
 
         return self._make(self.data / other.data, (self, other), backward)
 
@@ -168,7 +239,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(out: "Tensor") -> None:
-            self._accum(-out.grad)
+            self._accum(-out.grad, own=True)
 
         return self._make(-self.data, (self,), backward)
 
@@ -179,16 +250,16 @@ class Tensor:
             g = out.grad
             if self.requires_grad:
                 ga = g @ np.swapaxes(other.data, -1, -2)
-                self._accum(_unbroadcast(ga, self.shape))
+                self._accum(_unbroadcast(ga, self.shape), own=True)
             if other.requires_grad:
                 gb = np.swapaxes(self.data, -1, -2) @ g
-                other._accum(_unbroadcast(gb, other.shape))
+                other._accum(_unbroadcast(gb, other.shape), own=True)
 
         return self._make(self.data @ other.data, (self, other), backward)
 
     def __pow__(self, p: float) -> "Tensor":
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * p * self.data ** (p - 1))
+            self._accum(out.grad * p * self.data ** (p - 1), own=True)
 
         return self._make(self.data ** p, (self,), backward)
 
@@ -197,13 +268,13 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * out.data)
+            self._accum(out.grad * out.data, own=True)
 
         return self._make(data, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad / self.data)
+            self._accum(out.grad / self.data, own=True)
 
         return self._make(np.log(self.data), (self,), backward)
 
@@ -211,7 +282,7 @@ class Tensor:
         data = np.sqrt(self.data)
 
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * 0.5 / np.maximum(out.data, 1e-12))
+            self._accum(out.grad * 0.5 / np.maximum(out.data, 1e-12), own=True)
 
         return self._make(data, (self,), backward)
 
@@ -219,7 +290,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * (1.0 - out.data * out.data))
+            self._accum(out.grad * (1.0 - out.data * out.data), own=True)
 
         return self._make(data, (self,), backward)
 
@@ -227,7 +298,7 @@ class Tensor:
         mask = self.data > 0
 
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * mask)
+            self._accum(out.grad * mask, own=True)
 
         return self._make(self.data * mask, (self,), backward)
 
@@ -236,7 +307,7 @@ class Tensor:
         scale = np.where(pos, 1.0, slope).astype(np.float32)
 
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * scale)
+            self._accum(out.grad * scale, own=True)
 
         return self._make(self.data * scale, (self,), backward)
 
@@ -244,7 +315,7 @@ class Tensor:
         sign = np.sign(self.data).astype(np.float32)
 
         def backward(out: "Tensor") -> None:
-            self._accum(out.grad * sign)
+            self._accum(out.grad * sign, own=True)
 
         return self._make(np.abs(self.data), (self,), backward)
 
@@ -256,7 +327,13 @@ class Tensor:
             g = out.grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
-            self._accum(np.broadcast_to(g, self.shape).copy())
+            if fastpath._FAST:
+                # hand out the read-only broadcast view: when a gradient
+                # already exists (softmax's denominator path) the += reads
+                # straight through it, skipping a full materialized copy
+                self._accum(np.broadcast_to(g, self.shape))
+            else:
+                self._accum(np.broadcast_to(g, self.shape).copy())
 
         return self._make(data, (self,), backward)
 
@@ -323,11 +400,15 @@ class Tensor:
             for p in node._prev:
                 if id(p) not in visited:
                     stack.append((p, False))
-        self.grad = (np.ones_like(self.data) if grad is None
-                     else _as_array(grad))
+        seed = np.ones_like(self.data) if grad is None else _as_array(grad)
+        if seed is grad:
+            # the fast path may steal and later mutate the seed buffer;
+            # never let that write into a caller-owned array
+            seed = seed.copy()
+        self.grad = seed
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                node._backward()
+                node._backward(node)
         # break the tape's reference cycles (closure -> node -> closure) so
         # large intermediates are freed by refcounting, not the cycle GC;
         # leaf parameters keep their grads for the optimizer step
@@ -351,10 +432,10 @@ def take_rows(x: Tensor, idx: Array) -> Tensor:
     data = x.data[idx]
     out = Tensor(data)
     if _GRAD_ENABLED and x.requires_grad:
-        def backward() -> None:
+        def backward(o: "Tensor") -> None:
             g = np.zeros_like(x.data)
-            np.add.at(g, idx, out.grad)
-            x._accum(g)
+            np.add.at(g, idx, o.grad)
+            x._accum(g, own=True)
 
         out.requires_grad = True
         out._prev = (x,)
@@ -368,8 +449,8 @@ def segment_sum(x: Tensor, seg_ids: Array, n_segments: int) -> Tensor:
     np.add.at(data, seg_ids, x.data)
     out = Tensor(data)
     if _GRAD_ENABLED and x.requires_grad:
-        def backward() -> None:
-            x._accum(out.grad[seg_ids])
+        def backward(o: "Tensor") -> None:
+            x._accum(o.grad[seg_ids], own=True)
 
         out.requires_grad = True
         out._prev = (x,)
@@ -390,8 +471,8 @@ def spmm(a_sparse, x: Tensor) -> Tensor:
     if _GRAD_ENABLED and x.requires_grad:
         at = a_sparse.T.tocsr()
 
-        def backward() -> None:
-            x._accum(np.asarray(at @ out.grad, dtype=np.float32))
+        def backward(o: "Tensor") -> None:
+            x._accum(np.asarray(at @ o.grad, dtype=np.float32), own=True)
 
         out.requires_grad = True
         out._prev = (x,)

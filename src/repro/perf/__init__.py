@@ -3,11 +3,15 @@
 ``repro.perf.timing`` provides scoped wall-clock timers and counters with
 percentile summaries; ``repro.perf.microbench`` drives the intra-op DP
 micro-benchmark over the active profile's GPT grid and emits the
-``BENCH_intraop.json`` artifact (``repro bench micro``).
+``BENCH_intraop.json`` artifact (``repro bench micro``);
+``repro.perf.trainbench`` drives the predictor-pipeline benchmark (fast
+hot path vs the seed baseline, bit-identical by construction) and emits
+``BENCH_train.json`` (``repro bench train``).
 """
 
 from .timing import PerfRecorder, TimingStats, percentile
 from .microbench import run_intraop_microbench
+from .trainbench import run_train_microbench
 
 __all__ = ["PerfRecorder", "TimingStats", "percentile",
-           "run_intraop_microbench"]
+           "run_intraop_microbench", "run_train_microbench"]

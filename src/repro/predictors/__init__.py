@@ -11,6 +11,12 @@ from .dataset import (
     make_batches,
     split_dataset,
 )
+from .encoding_cache import (
+    EncodingCache,
+    GraphEncoding,
+    cached_encoding,
+    global_encoding_cache,
+)
 from .gat import GATModel
 from .gcn import GCNModel
 from .metrics import mean_absolute_error, mre, rmse
@@ -30,6 +36,8 @@ from .trust import (
 __all__ = [
     "StageSample", "Normalizer", "DatasetSplit", "split_dataset",
     "Batch", "make_batches",
+    "EncodingCache", "GraphEncoding", "cached_encoding",
+    "global_encoding_cache",
     "DAGTransformerModel", "DAGTransformerLayer", "GCNModel", "GATModel",
     "TrainConfig", "TrainResult", "train_model", "evaluate_loss",
     "LatencyPredictor", "build_model", "PREDICTOR_KINDS",

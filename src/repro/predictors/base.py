@@ -81,30 +81,51 @@ class LatencyPredictor:
                                         fault_attempt=fault_attempt)
         return self.train_result
 
+    def _ordered_batches(self, samples: list[StageSample], batch_size: int
+                         ) -> tuple[list[int], list]:
+        """Samples sorted by node count and padded into dense batches."""
+        order = sorted(range(len(samples)),
+                       key=lambda i: samples[i].encode().n_nodes)
+        ordered = [samples[i] for i in order]
+        return order, make_batches(ordered, self.normalizer, batch_size)
+
+    def _forward_batches(self, batches: list) -> np.ndarray:
+        """Inverse-transformed model outputs over prepared batches."""
+        preds: list[np.ndarray] = []
+        with no_grad():
+            for b in batches:
+                preds.append(self.normalizer.inverse(self.model(b).data))
+        return np.concatenate(preds)
+
     def predict_samples(self, samples: list[StageSample],
                         batch_size: int = 32) -> np.ndarray:
         """Predicted latencies (seconds) for encoded samples."""
         if self.model is None or self.normalizer is None:
             raise RuntimeError("predictor is not fitted")
-        order = sorted(range(len(samples)),
-                       key=lambda i: samples[i].encode().n_nodes)
-        ordered = [samples[i] for i in order]
-        batches = make_batches(ordered, self.normalizer, batch_size)
-        preds: list[np.ndarray] = []
-        with no_grad():
-            for b in batches:
-                preds.append(self.normalizer.inverse(self.model(b).data))
-        flat = np.concatenate(preds)
+        if not samples:
+            return np.empty(0, np.float32)
+        order, batches = self._ordered_batches(samples, batch_size)
+        flat = self._forward_batches(batches)
         out = np.empty(len(samples), np.float32)
         out[np.asarray(order)] = flat
         # latencies are positive by definition; clamp stray negatives an
         # undertrained linear head can emit
         return np.maximum(out, 1e-6)
 
-    def predict_graphs(self, graphs: list[Graph]) -> np.ndarray:
+    def predict_graphs(self, graphs: list[Graph],
+                       batch_size: int = 32) -> np.ndarray:
         """Predicted latencies for bare graphs (latency unknown)."""
         samples = [StageSample(g, latency=1.0) for g in graphs]
-        return self.predict_samples(samples)
+        return self.predict_samples(samples, batch_size)
+
+    def predict_many(self, graphs: list[Graph],
+                     batch_size: int = 32) -> np.ndarray:
+        """Batched inference over all pending graphs at once.
+
+        Alias of :meth:`predict_graphs` (which already buckets into
+        padded batches); named entry point for callers that previously
+        looped per graph."""
+        return self.predict_graphs(graphs, batch_size)
 
     def evaluate_mre(self, samples: list[StageSample]) -> float:
         """MRE (Eqn 5, %) against the samples' recorded latencies."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn import fastpath
 from ..nn.layers import (
     LayerNorm,
     Linear,
@@ -101,7 +102,12 @@ class DAGTransformerModel(Module):
             depths = np.clip(batch.depths, 0, MAX_DEPTH - 1)
             x = x + Tensor(self._pe[depths])
         if self.use_dagra:
-            reach = batch.reach
+            if fastpath.enabled() and batch.attn_bias is not None:
+                reach = batch.attn_bias  # precomputed additive mask
+            else:
+                reach = batch.reach
+        elif fastpath.enabled():
+            reach = batch.ablation_bias()
         else:  # ablation: full attention among real nodes
             reach = (batch.node_mask[:, None, :] > 0) | np.eye(
                 batch.node_mask.shape[1], dtype=bool)[None]

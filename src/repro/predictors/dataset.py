@@ -17,9 +17,13 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from ..ir.features import graph_features
 from ..ir.graph import Graph
-from ..ir.reachability import node_depths, reachability_mask, undirected_adjacency
+from .encoding_cache import cached_encoding
+
+#: additive-mask fill value for unreachable pairs; must match
+#: ``repro.nn.layers._NEG`` so precomputed biases are bit-identical to
+#: the per-forward ``np.where`` they replace
+_NEG = np.float32(-1e9)
 
 
 @dataclass
@@ -37,20 +41,26 @@ class StageSample:
 
     def encode(self) -> "StageSample":
         if self.features is None:
-            # feature extraction assumes a well-formed DAG (dense ids,
-            # topological edges); fail loudly on a malformed graph before
-            # it turns into silently-garbage encodings
-            self.graph.validate()
-            self.features = graph_features(self.graph).astype(np.float32)
-            self.reach = reachability_mask(self.graph)
-            self.depths = node_depths(self.graph)
-            self.adj = undirected_adjacency(self.graph).astype(np.float32)
+            # encodings come from the process-wide cache keyed on the
+            # canonical structural hash: structurally identical graphs
+            # (across ensemble members, train fractions, grid cells)
+            # share one frozen set of arrays.  The cache's fresh path
+            # validates the graph first, exactly like the old inline code
+            enc = cached_encoding(self.graph)
+            self.features = enc.features
+            self.reach = enc.reach
+            self.depths = enc.depths
+            self.adj = enc.adj
+            if self.adj_csr is None:
+                self.adj_csr = enc.adj_csr
         return self
 
     def sparse_adj(self) -> sp.csr_matrix:
         """CSR view of the normalized adjacency, computed once per sample."""
         if self.adj_csr is None:
-            self.adj_csr = sp.csr_matrix(self.encode().adj)
+            self.encode()
+        if self.adj_csr is None:  # encodings were injected by hand
+            self.adj_csr = sp.csr_matrix(self.adj)
         return self.adj_csr
 
     @property
@@ -196,10 +206,25 @@ class Batch:
     #: block-diagonal CSR of the per-graph adjacencies, for sparse message
     #: passing on the flattened (B·N, F) layout
     adj_sparse: sp.csr_matrix = None
+    #: precomputed additive DAGRA mask ``np.where(reach, 0, -1e9)`` with the
+    #: head axis, (B, 1, N, N) float32 — built once here instead of on every
+    #: attention layer of every epoch
+    attn_bias: np.ndarray = field(default=None, repr=False)  # type: ignore
+    _ablation_bias: np.ndarray = field(default=None, repr=False)  # type: ignore
 
     @property
     def size(self) -> int:
         return self.features.shape[0]
+
+    def ablation_bias(self) -> np.ndarray:
+        """Additive mask for the DAGRA-off ablation (full attention among
+        real nodes), lazily built and cached per batch."""
+        if self._ablation_bias is None:
+            n = self.node_mask.shape[1]
+            full = (self.node_mask[:, None, :] > 0) | np.eye(n, dtype=bool)[None]
+            self._ablation_bias = np.where(full[:, None, :, :],
+                                           np.float32(0.0), _NEG)
+        return self._ablation_bias
 
 
 def make_batches(
@@ -240,7 +265,9 @@ def make_batches(
         # padding rows must attend somewhere to avoid NaNs: self-loops
         idx = np.arange(n)
         reach[:, idx, idx] = True
+        attn_bias = np.where(reach[:, None, :, :], np.float32(0.0), _NEG)
         adj_sparse = _block_diag_csr([s.sparse_adj() for s in chunk], n)
         batches.append(Batch(feats, mask, reach, adj, depths,
-                             normalizer.target(lats), lats, adj_sparse))
+                             normalizer.target(lats), lats, adj_sparse,
+                             attn_bias=attn_bias))
     return batches

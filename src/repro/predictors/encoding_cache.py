@@ -1,0 +1,117 @@
+"""Shared graph-encoding cache for the predictor hot path.
+
+Every predictor fit re-derives the same per-graph encodings — Table-I
+features, the DAGRA reachability closure, DAGPE depths, and the
+GCN-normalized adjacency (dense + CSR).  A search grid touches each
+distinct stage structure many times: once per ensemble member, per train
+fraction, per grid cell.  Like :mod:`repro.parallel.plan_cache` does for
+intra-op DP results, this module memoizes the encodings process-wide,
+keyed on :func:`repro.ir.serialize.canonical_hash` — a name-free
+structural digest, which is sound because none of the encoding arrays
+depend on node *names*, only on ops/topology/shapes/params.
+
+Cached arrays are frozen (``writeable=False``) and shared by reference
+between all samples whose graphs are structurally identical; consumers
+(batch construction, normalizers) only ever read them.  Disable with
+``REPRO_ENCODING_CACHE=off`` — the fresh path computes the exact same
+arrays with the exact same calls, so the cache is bit-transparent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..ir.features import graph_features
+from ..ir.graph import Graph
+from ..ir.reachability import node_depths, reachability_mask, undirected_adjacency
+from ..ir.serialize import canonical_hash
+
+
+@dataclass(frozen=True)
+class GraphEncoding:
+    """Immutable per-structure encoding bundle.
+
+    ``raw_features`` keeps the float64 output of :func:`graph_features`
+    so trust-layer consumers (OOD statistics) see bit-identical inputs;
+    ``features`` is the float32 cast the predictors train on.
+    """
+
+    raw_features: np.ndarray   # (N, F) float64, as graph_features returns
+    features: np.ndarray       # (N, F) float32
+    reach: np.ndarray          # (N, N) bool DAGRA closure
+    depths: np.ndarray         # (N,) int64 DAGPE depths
+    adj: np.ndarray            # (N, N) float32 GCN-normalized
+    adj_csr: sp.csr_matrix     # CSR view of ``adj``
+
+
+def compute_encoding(graph: Graph) -> GraphEncoding:
+    """Fresh encoding bundle (validates the graph first, like encode())."""
+    graph.validate()
+    raw = graph_features(graph)
+    feats = raw.astype(np.float32)
+    reach = reachability_mask(graph)
+    depths = node_depths(graph)
+    adj = undirected_adjacency(graph).astype(np.float32)
+    adj_csr = sp.csr_matrix(adj)
+    for a in (raw, feats, reach, depths, adj):
+        a.setflags(write=False)
+    adj_csr.data.setflags(write=False)
+    return GraphEncoding(raw, feats, reach, depths, adj, adj_csr)
+
+
+@dataclass
+class EncodingCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class EncodingCache:
+    """In-process memo of graph encodings keyed by canonical hash."""
+
+    _entries: dict[str, GraphEncoding] = field(default_factory=dict)
+    stats: EncodingCacheStats = field(default_factory=EncodingCacheStats)
+
+    def get(self, graph: Graph) -> GraphEncoding:
+        key = canonical_hash(graph)
+        hit = self._entries.get(key)
+        if hit is not None:
+            self.stats.hits += 1
+            return hit
+        self.stats.misses += 1
+        enc = compute_encoding(graph)
+        self._entries[key] = enc
+        return enc
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = EncodingCacheStats()
+
+
+_GLOBAL: EncodingCache | None = None
+
+
+def global_encoding_cache() -> EncodingCache:
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = EncodingCache()
+    return _GLOBAL
+
+
+def cached_encoding(graph: Graph) -> GraphEncoding:
+    """Encoding through the global cache (``REPRO_ENCODING_CACHE=off`` gates)."""
+    if os.environ.get("REPRO_ENCODING_CACHE", "").lower() == "off":
+        return compute_encoding(graph)
+    return global_encoding_cache().get(graph)

@@ -22,7 +22,7 @@ class SparseGATLayer(Module):
     def __init__(self, d_in: int, d_out: int, rng: np.random.Generator,
                  n_heads: int = 4) -> None:
         if d_out % n_heads:
-            raise ValueError("d_out must divide n_heads")
+            raise ValueError("n_heads must divide d_out")
         self.n_heads = n_heads
         self.head_dim = d_out // n_heads
         self.lin = Linear(d_in, d_out, rng, bias=False)

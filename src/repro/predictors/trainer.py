@@ -41,7 +41,8 @@ from ..nn.optim import Adam, CosineDecay
 from ..nn.tensor import Tensor, no_grad
 from .dataset import Batch, Normalizer, StageSample, make_batches
 
-CHECKPOINT_VERSION = 1
+# v2: fingerprint includes the model architecture (parameter names+shapes)
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -95,13 +96,47 @@ def evaluate_loss(model: Module, batches: list[Batch], loss_name: str) -> float:
 
 
 # ------------------------------------------------------------- checkpointing
-def _run_fingerprint(cfg: TrainConfig, n_train: int, n_val: int) -> str:
-    """Identity of a training run; resuming a different run is an error."""
+def _run_fingerprint(cfg: TrainConfig, n_train: int, n_val: int,
+                     model: Module) -> str:
+    """Identity of a training run; resuming a different run is an error.
+
+    The model architecture (sorted parameter names + shapes) is part of
+    the identity: resuming with a changed ``dim``/``n_layers`` must raise
+    the intended "different training run" error up front instead of dying
+    late with a confusing shape mismatch inside ``load_state_dict``.
+    """
+    arch = sorted((name, list(p.data.shape))
+                  for name, p in model.named_parameters())
     return json.dumps({"epochs": cfg.epochs, "batch_size": cfg.batch_size,
                        "lr": cfg.lr, "patience": cfg.patience,
                        "loss": cfg.loss, "early": cfg.early_stopping,
                        "warmup": cfg.warmup_frac, "seed": cfg.seed,
-                       "n_train": n_train, "n_val": n_val}, sort_keys=True)
+                       "n_train": n_train, "n_val": n_val,
+                       "arch": arch}, sort_keys=True)
+
+
+def _reap_stale_tmps(path: Path) -> None:
+    """Remove ``<name>.tmp<pid>`` orphans left by crashed writers.
+
+    A crash between ``np.savez`` and ``os.replace`` strands the tmp file
+    next to the checkpoint forever; sweep siblings whose writer pid is
+    gone (live writers — including ourselves — are left alone)."""
+    for tmp in path.parent.glob(path.name + ".tmp*"):
+        try:
+            pid = int(tmp.name[len(path.name) + 4:])
+        except ValueError:
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        except (PermissionError, OSError):
+            pass  # pid alive (or unknowable): not ours to reap
 
 
 def _save_checkpoint(path: Path, *, model: Module, opt: Adam,
@@ -137,6 +172,7 @@ def _save_checkpoint(path: Path, *, model: Module, opt: Adam,
         arrays[f"adam_m::{i}"] = m
     for i, v in enumerate(opt.v):
         arrays[f"adam_v::{i}"] = v
+    _reap_stale_tmps(path)
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
     with open(tmp, "wb") as fh:
         np.savez(fh, **arrays)
@@ -152,6 +188,7 @@ def _load_checkpoint(path: Path, fingerprint: str) -> dict | None:
     grafting mismatched state would corrupt the result — while a
     missing or unreadable file simply means "start from scratch".
     """
+    _reap_stale_tmps(path)
     if not path.is_file():
         return None
     try:
@@ -226,7 +263,8 @@ def train_model(
     prior_elapsed = 0.0
 
     ckpt_path = Path(checkpoint_path) if checkpoint_path is not None else None
-    fingerprint = _run_fingerprint(cfg, len(train_samples), len(val_samples))
+    fingerprint = _run_fingerprint(cfg, len(train_samples), len(val_samples),
+                                   model)
     if resume and ckpt_path is not None:
         state = _load_checkpoint(ckpt_path, fingerprint)
         if state is not None:

@@ -35,10 +35,10 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..ir.features import graph_features
 from ..ir.graph import Graph
-from .base import LatencyPredictor
-from .dataset import StageSample
+from .base import LatencyPredictor, build_model
+from .dataset import Normalizer, StageSample
+from .encoding_cache import cached_encoding
 from .trainer import TrainConfig, TrainResult
 
 #: physical-bounds envelope factor: ground truth stays within this factor
@@ -126,7 +126,10 @@ class FeatureStats:
     def fit(graphs: list[Graph], margin: float = 0.1) -> "FeatureStats":
         if not graphs:
             raise ValueError("cannot record feature stats of an empty corpus")
-        stacked = np.concatenate([graph_features(g) for g in graphs], axis=0)
+        # raw (float64) features through the shared encoding cache — the
+        # same graphs are encoded again for training right after this
+        stacked = np.concatenate([cached_encoding(g).raw_features
+                                  for g in graphs], axis=0)
         sizes = [len(g) for g in graphs]
         return FeatureStats(stacked.min(axis=0), stacked.max(axis=0),
                             min(sizes), max(sizes), margin)
@@ -147,13 +150,27 @@ class FeatureStats:
             return 1.0
         if n < self.n_nodes_lo / 2 or n > self.n_nodes_hi * 2:
             return 1.0
-        feats = graph_features(graph)
+        feats = cached_encoding(graph).raw_features
         tol = self.margin * (self.hi - self.lo) + 1e-9
         outside = (feats < self.lo - tol) | (feats > self.hi + tol)
         return float(outside.any(axis=1).mean())
 
+    def ood_scores(self, graphs: list[Graph]) -> np.ndarray:
+        """Vector of :meth:`ood_score` over a list of query graphs."""
+        return np.array([self.ood_score(g) for g in graphs], np.float64)
+
 
 # ---------------------------------------------------------------- ensembles
+def _normalizers_equal(a: Normalizer | None, b: Normalizer | None) -> bool:
+    """Value equality of two fitted normalizers (shared-batch precondition)."""
+    return (a is not None and b is not None
+            and a.target_transform == b.target_transform
+            and a.target_scale == b.target_scale
+            and a.target_shift == b.target_shift
+            and np.array_equal(a.feat_mean, b.feat_mean)
+            and np.array_equal(a.feat_std, b.feat_std))
+
+
 @dataclass
 class EnsembleFitResult:
     """Bookkeeping of one ensemble fit."""
@@ -210,13 +227,27 @@ class EnsemblePredictor:
         checkpoint_path: str | None = None,
         resume: bool = False,
         retrain_on_divergence: bool = True,
+        jobs: int | None = None,
     ) -> EnsembleFitResult:
+        """Fit all K members, fanned across the engine's worker pool.
+
+        Members are seeded independently and trained in isolation, so
+        the fan-out is bit-identical to the serial loop; ``jobs``
+        defaults to the engine's ``REPRO_JOBS`` resolution (serial for
+        one member, inside a worker, or when ``REPRO_JOBS=1``).
+        """
+        from ..experiments.engine import parallel_map
+
         cfg = cfg or TrainConfig(seed=self.seed)
         self.feature_stats = FeatureStats.fit(
             [s.graph for s in list(train) + list(val)])
-        out = EnsembleFitResult()
-        self.members = []
-        for i in range(self.size):
+        # warm every shared encoding once in the parent so forked member
+        # fits inherit them instead of recomputing K times
+        for s in list(train) + list(val):
+            s.encode()
+            s.sparse_adj()
+
+        def _fit_member(i: int):
             member = LatencyPredictor(self.kind, seed=self.seed + i)
             # member 0 keeps the caller's exact seed, config, and
             # checkpoint path, so a size-1 ensemble IS the plain
@@ -226,8 +257,9 @@ class EnsemblePredictor:
                      else f"{checkpoint_path}.k{i}")
             result = member.fit(train, val, mcfg, checkpoint_path=mpath,
                                 resume=resume)
+            retrained = 0
             if result.diverged and retrain_on_divergence:
-                out.retrained += 1
+                retrained = 1
                 member = LatencyPredictor(
                     self.kind, seed=self.seed + i + RETRY_SEED_OFFSET)
                 retry_path = None if mpath is None else f"{mpath}.retry"
@@ -237,9 +269,28 @@ class EnsemblePredictor:
                                    fault_attempt=1)
                 retry.wall_seconds += result.wall_seconds
                 result = retry
-            if result.diverged:
+            # workers return plain picklable state (Tensor closures are
+            # not); the parent reconstructs the member deterministically
+            state = None
+            if not result.diverged:
+                state = (member.seed, member.model.state_dict(),
+                         member.normalizer)
+            return state, result, retrained
+
+        fitted = parallel_map(_fit_member, list(range(self.size)), jobs)
+        out = EnsembleFitResult()
+        self.members = []
+        for state, result, retrained in fitted:
+            out.retrained += retrained
+            if state is None:
                 out.dropped += 1
             else:
+                seed, weights, normalizer = state
+                member = LatencyPredictor(self.kind, seed=seed)
+                member.normalizer = normalizer
+                member.model = build_model(self.kind, seed=seed)
+                member.model.load_state_dict(weights)
+                member.train_result = result
                 self.members.append(member)
             out.results.append(result)
         self.fit_result = out
@@ -248,12 +299,49 @@ class EnsemblePredictor:
     def predict_graphs(self, graphs: list[Graph]
                        ) -> tuple[np.ndarray, np.ndarray]:
         """(mean, std) of the healthy members' predictions, in seconds."""
+        preds = self._member_predictions(graphs)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def predict_many(self, graphs: list[Graph]
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(mean, std, ood) for all pending graphs in one batched pass.
+
+        Batch construction is shared across members (their normalizers
+        are value-identical — deterministic fits on the same train
+        split), so the padded batches are built once instead of K times;
+        predictions are bit-identical to per-member
+        :meth:`predict_graphs`.  OOD scores reuse the cached encodings.
+        """
+        preds = self._member_predictions(graphs)
+        ood = (self.feature_stats.ood_scores(graphs)
+               if self.feature_stats is not None
+               else np.zeros(len(graphs)))
+        return preds.mean(axis=0), preds.std(axis=0), ood
+
+    def _member_predictions(self, graphs: list[Graph]) -> np.ndarray:
+        """(K, n) member predictions with one shared batch construction."""
         if not self.members:
             raise RuntimeError(
                 "ensemble has no healthy members (not fitted, or every "
                 "member diverged — fall back to the analytical predictor)")
-        preds = np.stack([m.predict_graphs(graphs) for m in self.members])
-        return preds.mean(axis=0), preds.std(axis=0)
+        first = self.members[0]
+        if not graphs or any(not _normalizers_equal(first.normalizer,
+                                                    m.normalizer)
+                             for m in self.members[1:]):
+            # hand-built members with differing normalizers (or nothing
+            # to predict): the per-member path is the oracle
+            return np.stack([m.predict_graphs(graphs)
+                             for m in self.members])
+        samples = [StageSample(g, latency=1.0) for g in graphs]
+        order, batches = first._ordered_batches(samples, 32)
+        idx = np.asarray(order)
+        rows = []
+        for m in self.members:
+            flat = m._forward_batches(batches)
+            row = np.empty(len(samples), np.float32)
+            row[idx] = flat
+            rows.append(np.maximum(row, 1e-6))
+        return np.stack(rows)
 
 
 # ------------------------------------------------------------------- guards

@@ -1,0 +1,98 @@
+"""Shared graph-encoding cache: hits, transparency, immutability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.serialize import canonical_hash
+from repro.predictors.encoding_cache import (
+    EncodingCache,
+    cached_encoding,
+    compute_encoding,
+    global_encoding_cache,
+)
+
+
+def _chain(name: str, suffix: str = ""):
+    """A small matmul->relu->softmax graph; names vary, structure doesn't."""
+    b = GraphBuilder(name)
+    x = b.input(f"x{suffix}", (4, 8))
+    w = b.param(f"w{suffix}", (8, 8))
+    h = b.relu(b.matmul(x, w, name=f"h{suffix}"))
+    b.output(b.softmax(h), f"out{suffix}")
+    return b.build()
+
+
+class TestEncodingCache:
+    def test_hit_and_miss_accounting(self):
+        cache = EncodingCache()
+        g = _chain("a")
+        e1 = cache.get(g)
+        e2 = cache.get(g)
+        assert e1 is e2
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_structurally_identical_graphs_share_one_entry(self):
+        """The key is the name-free canonical hash: two graphs that differ
+        only in graph/node names share one frozen encoding bundle."""
+        cache = EncodingCache()
+        e1 = cache.get(_chain("a", "1"))
+        e2 = cache.get(_chain("b", "2"))
+        assert e1 is e2
+        assert len(cache) == 1
+
+    def test_cached_equals_fresh(self):
+        g = _chain("a")
+        cached = EncodingCache().get(g)
+        fresh = compute_encoding(g)
+        assert np.array_equal(cached.raw_features, fresh.raw_features)
+        assert np.array_equal(cached.features, fresh.features)
+        assert np.array_equal(cached.reach, fresh.reach)
+        assert np.array_equal(cached.depths, fresh.depths)
+        assert np.array_equal(cached.adj, fresh.adj)
+        assert np.array_equal(cached.adj_csr.toarray(), fresh.adj_csr.toarray())
+
+    def test_cached_arrays_are_frozen(self):
+        enc = EncodingCache().get(_chain("a"))
+        for a in (enc.raw_features, enc.features, enc.reach, enc.depths,
+                  enc.adj, enc.adj_csr.data):
+            with pytest.raises(ValueError):
+                a[...] = 0
+
+    def test_env_gate_bypasses_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENCODING_CACHE", "off")
+        cache = global_encoding_cache()
+        cache.clear()
+        g = _chain("a")
+        e1 = cached_encoding(g)
+        e2 = cached_encoding(g)
+        assert e1 is not e2  # fresh bundle per call, nothing memoized
+        assert len(cache) == 0
+        assert (cache.stats.hits, cache.stats.misses) == (0, 0)
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = EncodingCache()
+        cache.get(_chain("a"))
+        cache.get(_chain("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.stats.hits, cache.stats.misses) == (0, 0)
+
+
+class TestCanonicalHashMemo:
+    def test_memo_stable_across_calls(self):
+        g = _chain("a")
+        assert canonical_hash(g) == canonical_hash(g)
+        assert g._canonical_hash is not None
+
+    def test_add_node_invalidates_memo(self):
+        g = _chain("a")
+        before = canonical_hash(g)
+        last = g.nodes[-1]
+        g.add_node("relu", [last.id], last.out)
+        assert g._canonical_hash is None
+        assert canonical_hash(g) != before

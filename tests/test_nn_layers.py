@@ -97,8 +97,14 @@ class TestAttention:
         assert not np.allclose(y1[0, 0], y2[0, 0], atol=1e-3)
 
     def test_bad_head_split(self, rng):
-        with pytest.raises(ValueError):
+        # the message names the actual constraint (heads divide the dim),
+        # not the reversed claim the original code made
+        with pytest.raises(ValueError, match="n_heads must divide dim"):
             MaskedMultiHeadAttention(10, 3, rng)
+
+    def test_bad_head_split_gat(self, rng):
+        with pytest.raises(ValueError, match="n_heads must divide d_out"):
+            GATConv(8, 10, rng, n_heads=3)
 
 
 class TestGraphConvs:
@@ -199,3 +205,59 @@ class TestLosses:
     def test_gelu_close_to_identity_for_large_x(self):
         x = Tensor(np.array([10.0], np.float32))
         assert float(gelu(x).data[0]) == pytest.approx(10.0, rel=1e-3)
+
+
+class TestTiedParameters:
+    """A parameter reachable through several attributes (weight tying)
+    must be discovered, updated, and serialized exactly once."""
+
+    class _Tied(Module):
+        def __init__(self):
+            rng = np.random.default_rng(0)
+            self.encoder = Linear(4, 4, rng)
+            self.decoder = Linear(4, 4, rng)
+            self.decoder.w = self.encoder.w  # tie the weights
+            self.extra = [self.encoder.w]    # and a third path to it
+
+        def forward(self, x):
+            return self.decoder(self.encoder(x))
+
+    def test_parameters_deduped(self):
+        m = self._Tied()
+        params = m.parameters()
+        assert len(params) == len({id(p) for p in params})
+        # w (tied), encoder.b, decoder.b
+        assert len(params) == 3
+
+    def test_named_parameters_first_visit_wins(self):
+        m = self._Tied()
+        names = [n for n, _ in m.named_parameters()]
+        assert names == ["encoder.w", "encoder.b", "decoder.b"]
+        assert len(names) == len(set(names))
+
+    def test_state_dict_roundtrip(self):
+        m = self._Tied()
+        state = m.state_dict()
+        assert set(state) == {"encoder.w", "encoder.b", "decoder.b"}
+        m2 = self._Tied()
+        m2.load_state_dict(state)
+        assert np.array_equal(m2.encoder.w.data, m.encoder.w.data)
+        assert m2.decoder.w is m2.encoder.w  # tying survives the load
+
+    def test_tied_weight_stepped_once(self):
+        """With the duplicate in the optimizer's list, Adam would apply
+        the shared gradient twice per step (and double-count moments)."""
+        m = self._Tied()
+        w0 = m.encoder.w.data.copy()
+        opt = Adam(m.parameters(), lr=0.1)
+        x = Tensor(np.ones((2, 4), np.float32))
+        loss = mae(m(x).sum(), np.zeros((), np.float32))
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        stepped = m.encoder.w.data.copy()
+        # Adam's bias-corrected first step moves each coordinate by at
+        # most lr; a duplicated registration steps the tensor twice in
+        # sequence (~2*lr on coordinates with gradient)
+        assert not np.array_equal(stepped, w0)
+        assert np.all(np.abs(stepped - w0) <= 0.1 + 1e-6)

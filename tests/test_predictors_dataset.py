@@ -150,3 +150,65 @@ class TestBatching:
         norm = Normalizer.fit(tiny_corpus)
         with pytest.raises(ValueError):
             make_batches(tiny_corpus, norm, 0)
+
+
+class TestBatchInvariants:
+    def test_bucket_false_preserves_order(self, tiny_corpus):
+        norm = Normalizer.fit(tiny_corpus)
+        batches = make_batches(tiny_corpus, norm, 3, bucket=False)
+        flat = np.concatenate([b.latencies for b in batches])
+        assert np.array_equal(
+            flat, np.array([s.latency for s in tiny_corpus], np.float32))
+
+    def test_attn_bias_matches_where_exactly(self, tiny_corpus):
+        """The precomputed additive mask must be *bit-identical* to the
+        np.where the attention layers used to build per forward."""
+        norm = Normalizer.fit(tiny_corpus)
+        for b in make_batches(tiny_corpus, norm, 4):
+            expect = np.where(b.reach[:, None, :, :], np.float32(0.0),
+                              np.float32(-1e9))
+            assert b.attn_bias.dtype == np.float32
+            assert b.attn_bias.shape == (b.size, 1) + b.reach.shape[1:]
+            assert np.array_equal(b.attn_bias, expect)
+
+    def test_attn_bias_covers_padding_self_loops(self, tiny_corpus):
+        """Padding rows attend to themselves (bias 0 on the diagonal), so
+        their softmax rows stay finite."""
+        norm = Normalizer.fit(tiny_corpus)
+        for b in make_batches(tiny_corpus, norm, 4):
+            n = b.reach.shape[1]
+            diag = b.attn_bias[:, 0, np.arange(n), np.arange(n)]
+            assert np.all(diag == 0.0)
+
+    def test_ablation_bias_lazy_and_exact(self, tiny_corpus):
+        norm = Normalizer.fit(tiny_corpus)
+        b = make_batches(tiny_corpus, norm, 4)[0]
+        assert b._ablation_bias is None  # built on demand only
+        bias = b.ablation_bias()
+        assert b.ablation_bias() is bias  # cached per batch
+        n = b.node_mask.shape[1]
+        full = (b.node_mask[:, None, :] > 0) | np.eye(n, dtype=bool)[None]
+        expect = np.where(full[:, None, :, :], np.float32(0.0),
+                          np.float32(-1e9))
+        assert np.array_equal(bias, expect)
+
+    def test_cached_and_fresh_batches_identical(self, tiny_corpus,
+                                                monkeypatch):
+        """Batches built through the shared encoding cache must equal the
+        cache-off construction bit-for-bit, array by array."""
+        def build():
+            samples = [StageSample(s.graph, s.latency, s.stage_id)
+                       for s in tiny_corpus]
+            norm = Normalizer.fit(samples)
+            return make_batches(samples, norm, 4)
+
+        cached = build()
+        monkeypatch.setenv("REPRO_ENCODING_CACHE", "off")
+        fresh = build()
+        assert len(cached) == len(fresh)
+        for bc, bf in zip(cached, fresh):
+            for name in ("features", "node_mask", "reach", "adj", "depths",
+                         "targets", "latencies", "attn_bias"):
+                assert np.array_equal(getattr(bc, name), getattr(bf, name)), name
+            assert np.array_equal(bc.adj_sparse.toarray(),
+                                  bf.adj_sparse.toarray())

@@ -194,3 +194,69 @@ class TestFacadeCheckpointing:
         pred_ref = ref.predict_samples(splits.test)
         pred_res = lp.predict_samples(splits.test)
         assert np.array_equal(pred_ref, pred_res)
+
+
+class TestFingerprintArchitecture:
+    def test_changed_architecture_refuses_resume(self, splits, norm,
+                                                 tmp_path):
+        """The fingerprint includes parameter names + shapes: resuming
+        with a different model architecture must raise the intended
+        "different training run" error up front, not die late with a
+        shape mismatch inside load_state_dict."""
+        cfg = _cfg(epochs=4)
+        ckpt = tmp_path / "arch.npz"
+        _train(splits, norm, cfg, checkpoint_path=ckpt)
+        narrow = build_model("gcn", seed=cfg.seed, dim=64)
+        with pytest.raises(ValueError, match="different training run"):
+            train_model(narrow, splits.train, splits.val, norm, cfg,
+                        checkpoint_path=ckpt, resume=True)
+
+    def test_same_architecture_still_resumes(self, splits, norm, tmp_path):
+        cfg = _cfg(epochs=4)
+        ckpt = tmp_path / "same.npz"
+        _, ref = _train(splits, norm, cfg, checkpoint_path=ckpt)
+        _, resumed = _train(splits, norm, cfg, checkpoint_path=ckpt,
+                            resume=True)
+        assert resumed.train_loss == ref.train_loss
+
+
+class TestStaleTmpReaper:
+    def _dead_pid(self):
+        import os
+
+        pid = 2 ** 22 - 17  # far above any default pid_max allocation
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid
+        except PermissionError:
+            pass
+        pytest.skip("could not find a guaranteed-dead pid")
+
+    def test_dead_writer_tmp_reaped_on_save(self, splits, norm, tmp_path):
+        ckpt = tmp_path / "run.npz"
+        orphan = tmp_path / f"run.npz.tmp{self._dead_pid()}"
+        orphan.write_bytes(b"stranded by a crashed writer")
+        alien = tmp_path / "run.npz.tmpNOTAPID"
+        alien.write_bytes(b"not ours to judge")
+        _train(splits, norm, _cfg(epochs=2), checkpoint_path=ckpt)
+        assert not orphan.exists()   # dead writer's debris swept
+        assert alien.exists()        # malformed suffix left alone
+        assert ckpt.is_file()
+
+    def test_live_writer_tmp_left_alone(self, splits, norm, tmp_path):
+        """pid 1 is always alive (and not us): its tmp must survive."""
+        ckpt = tmp_path / "run.npz"
+        live = tmp_path / "run.npz.tmp1"
+        live.write_bytes(b"concurrent writer still at work")
+        _train(splits, norm, _cfg(epochs=2), checkpoint_path=ckpt)
+        assert live.exists()
+
+    def test_reaped_on_load_too(self, splits, norm, tmp_path):
+        ckpt = tmp_path / "run.npz"
+        _train(splits, norm, _cfg(epochs=2), checkpoint_path=ckpt)
+        orphan = tmp_path / f"run.npz.tmp{self._dead_pid()}"
+        orphan.write_bytes(b"stranded")
+        _, _ = _train(splits, norm, _cfg(epochs=2), checkpoint_path=ckpt,
+                      resume=True)
+        assert not orphan.exists()
