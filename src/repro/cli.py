@@ -24,6 +24,7 @@ from .models.clustering import cluster_layers
 from .models.configs import BENCHMARKS, benchmark_config
 from .models.model import build_model
 from .predictors.trainer import TrainConfig
+from .runtime.schedules import schedule_names
 
 
 def _add_model_args(p: argparse.ArgumentParser) -> None:
@@ -68,6 +69,12 @@ def cmd_info(args) -> int:
     for name, prof in sorted(PROFILES.items()):
         print(f"  {name}: {prof.epochs} epochs, fractions {prof.fractions}, "
               f"gpt_layers={prof.gpt_layers}, units={prof.gpt_units}")
+    from .runtime.schedules import get_schedule, schedule_names
+
+    print("\npipeline schedules:")
+    for name in schedule_names():
+        doc = (get_schedule(name).__class__.__doc__ or "").strip()
+        print(f"  {name}: {doc.splitlines()[0] if doc else ''}")
     return 0
 
 
@@ -152,6 +159,7 @@ def cmd_search(args) -> int:
                                  batch_size=8, lr=2e-3, seed=args.seed),
         seed=args.seed,
         trust=trust,
+        schedule=args.schedule,
     )
     approaches = APPROACHES if args.approach == "all" else (args.approach,)
     out = {}
@@ -250,10 +258,45 @@ def cmd_bench(args) -> int:
         return 0 if ok else 1
 
     jobs = args.jobs if args.jobs else n_jobs()
-    families = ("gpt", "moe") if args.family == "both" else (args.family,)
+    if args.family == "both":
+        families: tuple[str, ...] = ("gpt", "moe")
+    elif args.family == "all":
+        families = ("gpt", "moe", "bert", "vit")
+    else:
+        families = (args.family,)
     out_dir = Path(args.output or
                    Path(__file__).resolve().parents[2] / "results") / profile.name
     out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.target == "schedules":
+        from .experiments.export import export_schedule_grid
+        from .experiments.reporting import render_schedule_grid
+        from .experiments.schedule_grid import run_schedule_grid
+        from .runtime.schedules import schedule_names
+
+        if args.quick:
+            families = families[:1]
+        schedules = (schedule_names() if args.schedule == "all"
+                     else (args.schedule,))
+        report = run_schedule_grid(
+            families, profile, schedules, jobs=jobs,
+            timeout=args.timeout or None,
+            retries=args.retries if args.retries >= 0 else None)
+        for family in families:
+            cells = [c for (fam, _), c in report.cells.items()
+                     if fam == family]
+            stem = f"schedule_grid_{family}"
+            text = render_schedule_grid(cells, family, profile.name)
+            export_schedule_grid(cells, out_dir / f"{stem}.csv")
+            (out_dir / f"{stem}.txt").write_text(text + "\n")
+            print(f"{text}\n[{stem}: profile={profile.name} jobs={jobs}, "
+                  f"saved under {out_dir}]\n")
+        if report.failures:
+            print(f"!! {len(report.failures)}/{report.n_cells} schedule "
+                  f"cells failed after retries ({report.attempts} attempts, "
+                  f"mode={report.mode}); see `repro bench report`")
+        return 2 if report.failures else 0
+
     tables = {"table5": "platform1", "table6": "platform2"}
     targets = tables if args.target == "tables" else {args.target: tables.get(args.target)}
     failed_cells = 0
@@ -346,22 +389,36 @@ def make_parser() -> argparse.ArgumentParser:
                    help="simulated profiling seconds the escalation policy "
                         "may spend re-profiling suspect predictions "
                         "(-1 = REPRO_TRUST_BUDGET / 0)")
+    p.add_argument("--schedule", default="1f1b",
+                   choices=schedule_names(),
+                   help="pipeline schedule for the DP objective and plan "
+                        "scoring (closed form + event simulation)")
 
     p = sub.add_parser(
         "bench", help="regenerate experiment grids via the fault-tolerant "
                       "engine")
     p.add_argument("target",
-                   choices=("table5", "table6", "tables", "usecase", "micro",
-                            "train", "report"),
-                   help="which artifact to (re)compute (micro: the intra-op "
+                   choices=("table5", "table6", "tables", "usecase",
+                            "schedules", "micro", "train", "report"),
+                   help="which artifact to (re)compute (schedules: the "
+                        "validated simulator-vs-closed-form grid -> "
+                        "schedule_grid_<family>.csv; micro: the intra-op "
                         "DP micro-benchmark -> BENCH_intraop.json; train: "
                         "the predictor-pipeline benchmark -> "
                         "BENCH_train.json; report: summarize the "
                         "run-manifest journal)")
     p.add_argument("--quick", action="store_true",
-                   help="micro/train only: reduced case set / repeats "
-                        "(CI smoke)")
-    p.add_argument("--family", choices=("gpt", "moe", "both"), default="both")
+                   help="micro/train: reduced case set / repeats; "
+                        "schedules: first family only (CI smoke)")
+    p.add_argument("--family",
+                   choices=("gpt", "moe", "bert", "vit", "both", "all"),
+                   default="both",
+                   help="benchmark families (both = gpt+moe, all adds "
+                        "bert+vit)")
+    p.add_argument("--schedule", default="all",
+                   choices=("all",) + schedule_names(),
+                   help="schedules target: which registered pipeline "
+                        "schedule(s) to validate")
     p.add_argument("--jobs", type=int, default=0,
                    help="engine workers (0 = REPRO_JOBS / cpu count)")
     p.add_argument("--timeout", type=float, default=0.0,

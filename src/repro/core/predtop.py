@@ -240,9 +240,16 @@ class PredTOP:
     # ------------------------------------------------------------ white box
     @staticmethod
     def predict_iteration_latency(stage_latencies: list[float],
-                                  n_microbatches: int) -> float:
-        """Gray-box composition: Eqn 4 over predicted stage latencies."""
-        return whitebox_latency(stage_latencies, n_microbatches)
+                                  n_microbatches: int,
+                                  schedule: str = "1f1b") -> float:
+        """Gray-box composition: the schedule's closed form over predicted
+        stage latencies (Eqn 4 for the default 1F1B)."""
+        if schedule == "1f1b":
+            return whitebox_latency(stage_latencies, n_microbatches)
+        from ..runtime.schedules import get_schedule
+
+        return get_schedule(schedule).closed_form(stage_latencies,
+                                                  n_microbatches)
 
     # ---------------------------------------------------------- convenience
     def run_all_phases(self, dp: int | None = None, mp: int | None = None,

@@ -80,12 +80,18 @@ class PlanSearcher:
         seed: int = 0,
         jobs: int | None = None,
         trust: TrustConfig | None = None,
+        schedule: str = "1f1b",
     ) -> None:
+        from ..runtime.schedules import get_schedule
+
         self.model = model
         self.clustering = clustering
         self.cluster = cluster
         self.submeshes = enumerate_submeshes(cluster)
         self.n_microbatches = n_microbatches
+        #: pipeline schedule for the DP objective and plan scoring; the
+        #: default keeps both bit-identical to the pre-registry code
+        self.schedule = get_schedule(schedule)
         self.profiler = profiler or StageProfiler(model)
         self.sample_fraction = sample_fraction
         self.train_config = train_config or TrainConfig()
@@ -155,21 +161,30 @@ class PlanSearcher:
         return abs(frac_model - frac_devices) <= self.balance_tolerance
 
     def _score_plan(self, plan: ParallelPlan) -> float:
-        """Ground-truth iteration latency of a plan (1F1B simulation)."""
+        """Ground-truth iteration latency of a plan under the schedule."""
         if not plan.feasible:
             return float("inf")
         true_times = [lat for (lat, _) in self._measure_many(
             [(st.layer_range, st.submesh) for st in plan.stages])]
-        sim = PipelineSimulator(
-            true_times, self.n_microbatches,
-            transfer_bytes=self.model.activation_bytes(),
-            link=self.cluster.inter_link)
-        return sim.run().makespan
+        if self.schedule.name == "1f1b":
+            # the seed path, kept verbatim so 1F1B scores stay bit-identical
+            sim = PipelineSimulator(
+                true_times, self.n_microbatches,
+                transfer_bytes=self.model.activation_bytes(),
+                link=self.cluster.inter_link)
+            return sim.run().makespan
+        transfer = self.cluster.inter_link.transfer_time(
+            self.model.activation_bytes())
+        return self.schedule.simulated_latency(
+            true_times, self.n_microbatches, transfer_time=transfer)
 
     def _run_dp(self, table: LatencyTable) -> ParallelPlan:
+        # schedule=None routes 1F1B through the original Eqn-4 arithmetic
+        spec = None if self.schedule.name == "1f1b" else self.schedule
         return slice_stages(self.clustering, self.submeshes, table,
                             self.n_microbatches,
-                            total_devices=self.cluster.num_devices)
+                            total_devices=self.cluster.num_devices,
+                            schedule=spec)
 
     # ------------------------------------------------------------ approaches
     def search_full(self) -> SearchResult:

@@ -15,8 +15,20 @@ from .engine import (
 from .figures import UseCaseResult, random_plan_latencies, run_use_case
 from .manifest import append_event, manifest_path, read_events, summarize
 from .profiles import FAST, PAPER, PROFILES, SMOKE, ExperimentProfile, active_profile
-from .reporting import render_mre_table, render_stats, render_use_case
+from .reporting import (
+    render_mre_table,
+    render_schedule_grid,
+    render_stats,
+    render_use_case,
+)
 from .scenarios import Scenario, all_scenarios, scenario_grid
+from .schedule_grid import (
+    ScheduleCell,
+    ScheduleGridReport,
+    run_schedule_cell,
+    run_schedule_grid,
+    stage_time_vector,
+)
 from .tables import (
     CellResult,
     best_kind_share,
@@ -32,6 +44,9 @@ __all__ = [
     "CellResult", "run_cell", "mre_grid", "grid_statistics", "best_kind_share",
     "random_plan_latencies", "run_use_case", "UseCaseResult",
     "render_mre_table", "render_stats", "render_use_case",
+    "render_schedule_grid",
+    "ScheduleCell", "ScheduleGridReport", "run_schedule_cell",
+    "run_schedule_grid", "stage_time_vector",
     "ResultsCache", "global_cache",
     "n_jobs", "parallel_map", "run_grid", "run_grid_report",
     "supervised_map", "MapOutcome", "GridRunReport", "CellFailure",

@@ -39,8 +39,8 @@ def benchmark_setup(family: str, profile: ExperimentProfile) -> BenchmarkSetup:
     key = (family, profile.name)
     if key in _SETUPS:
         return _SETUPS[key]
-    layers = profile.gpt_layers if family == "gpt" else profile.moe_layers
-    units = profile.gpt_units if family == "gpt" else profile.moe_units
+    layers = profile.layers_for(family)
+    units = profile.units_for(family)
     cfg = benchmark_config(family, layers)
     model = build_model(cfg)
     clustering = cluster_layers(model, units)

@@ -41,6 +41,22 @@ def export_series(values: Sequence[float], path: str | os.PathLike,
                      [(i, f"{v:.6g}") for i, v in enumerate(values)])
 
 
+def export_schedule_grid(cells: Iterable, path: str | os.PathLike) -> Path:
+    """Schedule-grid rows: one validated schedule per line.
+
+    ``stage_times_s`` is space-separated so the golden tests can re-run
+    the closed form / simulator on the exact profiled vector.
+    """
+    rows = [(c.schedule, c.n_stages, c.n_microbatches,
+             f"{c.closed_form:.9g}", f"{c.simulated:.9g}",
+             f"{c.lower_bound:.9g}", c.n_events,
+             " ".join(f"{t:.9g}" for t in c.stage_times))
+            for c in sorted(cells, key=lambda c: c.schedule)]
+    return write_csv(path, ("schedule", "n_stages", "n_microbatches",
+                            "closed_form_s", "simulated_s", "lower_bound_s",
+                            "n_events", "stage_times_s"), rows)
+
+
 def export_use_case(data: dict[str, dict], path: str | os.PathLike) -> Path:
     """Fig 10 rows: (approach, optimization_cost_s, plan_latency_s)."""
     rows = [(a, f"{d['cost']:.3f}", f"{d['latency']:.6f}", d.get("stages", ""))

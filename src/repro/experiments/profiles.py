@@ -52,6 +52,15 @@ class ExperimentProfile:
     fig2_plans: int = 100
     seed: int = 0
 
+    def layers_for(self, family: str) -> int | None:
+        """Depth knob per family; bert/vit reuse the gpt depth budget
+        (their stage-graph sizes are in the same regime)."""
+        return self.moe_layers if family == "moe" else self.gpt_layers
+
+    def units_for(self, family: str) -> int:
+        """Layer-clustering unit count per family."""
+        return self.moe_units if family == "moe" else self.gpt_units
+
     def train_config(self, seed: int | None = None) -> TrainConfig:
         return TrainConfig(epochs=self.epochs, patience=self.patience,
                            batch_size=self.batch_size, lr=self.lr,

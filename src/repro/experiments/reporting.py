@@ -59,6 +59,29 @@ def render_stats(stats: dict[str, dict[str, float]], title: str) -> str:
     return "\n".join(lines)
 
 
+def render_schedule_grid(cells, family: str, profile_name: str) -> str:
+    """Schedule-registry comparison table for one benchmark family.
+
+    Every row already passed ``ScheduleSpec.validate`` (simulator ==
+    closed form), so the two latency columns are printed once.
+    """
+    lines = [f"Pipeline schedules — {family.upper()} ({profile_name} "
+             f"profile, validated simulator == closed form)",
+             f"{'schedule':>12s} {'stages':>7s} {'B':>4s} "
+             f"{'latency (ms)':>13s} {'bound (ms)':>11s} {'vs 1f1b':>8s}"]
+    by_name = {c.schedule: c for c in cells}
+    base = by_name.get("1f1b")
+    for name in sorted(by_name):
+        c = by_name[name]
+        rel = (c.simulated / base.simulated
+               if base and base.simulated else float("nan"))
+        lines.append(
+            f"{c.schedule:>12s} {c.n_stages:7d} {c.n_microbatches:4d} "
+            f"{c.simulated * 1e3:13.3f} {c.lower_bound * 1e3:11.3f} "
+            f"{rel:7.3f}x")
+    return "\n".join(lines)
+
+
 def render_use_case(result, baseline: str = "partial") -> str:
     """Fig 10a/b-style comparison table for one benchmark."""
     lines = [f"Use case — {result.family.upper()}",

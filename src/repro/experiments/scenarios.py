@@ -24,10 +24,16 @@ class Scenario:
     config_index: int
     dp: int
     mp: int
+    #: pipeline schedule used for plan-level latencies (registry name);
+    #: the default keeps every pre-registry key and golden CSV unchanged
+    schedule: str = "1f1b"
 
     @property
     def key(self) -> str:
-        return f"{self.platform_name}-m{self.mesh_index}c{self.config_index}"
+        base = f"{self.platform_name}-m{self.mesh_index}c{self.config_index}"
+        if self.schedule != "1f1b":
+            base += f"-{self.schedule}"
+        return base
 
     @property
     def label(self) -> str:
@@ -40,13 +46,14 @@ class Scenario:
         return self.platform().mesh(self.mesh_index)
 
 
-def scenario_grid(platform_name: str) -> list[Scenario]:
+def scenario_grid(platform_name: str,
+                  schedule: str = "1f1b") -> list[Scenario]:
     """All Table V/VI scenarios for one platform, in table column order."""
     platform = get_platform(platform_name)
     out: list[Scenario] = []
     for m in platform.mesh_indices():
         for p, (dp, mp) in sorted(PARALLEL_CONFIGS[m].items()):
-            out.append(Scenario(platform_name, m, p, dp, mp))
+            out.append(Scenario(platform_name, m, p, dp, mp, schedule))
     return out
 
 

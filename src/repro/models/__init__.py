@@ -1,19 +1,33 @@
-"""Benchmark model zoo: GPT-3 and GShard-MoE as operator graphs."""
+"""Benchmark model zoo: GPT-3, GShard-MoE, BERT, ViT as operator graphs."""
 
 from .clustering import Clustering, cluster_layers, stage_count
-from .configs import BENCHMARKS, GPT3_1_3B, MOE_2_6B, ModelConfig, benchmark_config
+from .configs import (
+    BENCHMARKS,
+    BERT_LARGE,
+    GPT3_1_3B,
+    MOE_2_6B,
+    VIT_L16,
+    ModelConfig,
+    benchmark_config,
+)
 from .layers import (
+    ClassifierHeadLayer,
     EmbeddingLayer,
+    EncoderLayer,
     Layer,
     LMHeadLayer,
     MoELayer,
+    PatchEmbedLayer,
     TransformerLayer,
 )
-from .model import Model, build_gpt, build_model, build_moe
+from .model import Model, build_bert, build_gpt, build_model, build_moe, build_vit
 
 __all__ = [
-    "ModelConfig", "GPT3_1_3B", "MOE_2_6B", "BENCHMARKS", "benchmark_config",
-    "Layer", "EmbeddingLayer", "TransformerLayer", "MoELayer", "LMHeadLayer",
-    "Model", "build_gpt", "build_moe", "build_model",
+    "ModelConfig", "GPT3_1_3B", "MOE_2_6B", "BERT_LARGE", "VIT_L16",
+    "BENCHMARKS", "benchmark_config",
+    "Layer", "EmbeddingLayer", "TransformerLayer", "EncoderLayer",
+    "MoELayer", "LMHeadLayer", "PatchEmbedLayer", "ClassifierHeadLayer",
+    "Model", "build_gpt", "build_moe", "build_bert", "build_vit",
+    "build_model",
     "Clustering", "cluster_layers", "stage_count",
 ]

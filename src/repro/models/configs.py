@@ -6,6 +6,14 @@ The paper evaluates two models:
 * **GShard MoE 2.6B** — seq 1024, hidden 768, 32 layers, 16 heads, vocab
   32000, 16 experts, expert group size 2048.
 
+Two extra families extend the scenario space beyond the paper's corpus
+(the schedule-registry grids cover model × schedule cells):
+
+* **BERT-Large** — bidirectional encoder: seq 512, hidden 1024, 24
+  layers, 16 heads, vocab 30522 (non-causal attention);
+* **ViT-L/16** — vision transformer: 224×224 images in 16×16 patches
+  (196 tokens), hidden 1024, 24 layers, 16 heads, 1000 classes.
+
 Because predictor training in pure numpy is the expensive part of the
 reproduction, each benchmark also has reduced-depth variants used by the
 ``smoke``/``fast`` experiment profiles (§ DESIGN.md); widths and the
@@ -23,7 +31,7 @@ class ModelConfig:
     """Architecture hyperparameters shared by both benchmark families."""
 
     name: str
-    family: str  # "gpt" | "moe"
+    family: str  # "gpt" | "moe" | "bert" | "vit"
     seq_len: int
     hidden: int
     n_layers: int
@@ -42,12 +50,25 @@ class ModelConfig:
     #: microbatch size used when emitting stage graphs
     microbatch: int = 4
     dtype: str = "float32"
+    #: ViT only: classification head width; 0 disables the head
+    n_classes: int = 0
+    #: ViT only: square input-image resolution and patch size
+    image_size: int = 0
+    patch_size: int = 0
+    in_channels: int = 3
 
     def __post_init__(self) -> None:
         if self.hidden % self.n_heads:
             raise ValueError("hidden must divide evenly into heads")
         if self.family == "moe" and self.n_experts < 2:
             raise ValueError("MoE config needs n_experts >= 2")
+        if self.family == "vit":
+            if self.patch_size <= 0 or self.image_size % self.patch_size:
+                raise ValueError("ViT needs patch_size dividing image_size")
+            if self.seq_len != (self.image_size // self.patch_size) ** 2:
+                raise ValueError("ViT seq_len must equal the patch count")
+            if self.n_classes < 2:
+                raise ValueError("ViT config needs n_classes >= 2")
 
     @property
     def head_dim(self) -> int:
@@ -83,7 +104,21 @@ MOE_2_6B = ModelConfig(
     n_experts=16, expert_group=2048,
 )
 
-BENCHMARKS = {"gpt": GPT3_1_3B, "moe": MOE_2_6B}
+#: BERT-Large (Devlin et al.): the encoder-style family.
+BERT_LARGE = ModelConfig(
+    name="bert-large", family="bert", seq_len=512, hidden=1024,
+    n_layers=24, n_heads=16, vocab=30522,
+)
+
+#: ViT-L/16 (Dosovitskiy et al.): 224² images, 16² patches → 196 tokens.
+VIT_L16 = ModelConfig(
+    name="vit-l16", family="vit", seq_len=196, hidden=1024,
+    n_layers=24, n_heads=16, vocab=0,
+    n_classes=1000, image_size=224, patch_size=16,
+)
+
+BENCHMARKS = {"gpt": GPT3_1_3B, "moe": MOE_2_6B,
+              "bert": BERT_LARGE, "vit": VIT_L16}
 
 
 def benchmark_config(family: str, n_layers: int | None = None) -> ModelConfig:

@@ -47,8 +47,13 @@ def _linear(b: GraphBuilder, x: Var, w_name: str, d_in: int, d_out: int,
     return y
 
 
-def emit_attention(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str) -> Var:
-    """Multi-head self-attention with causal mask, traced to primitives."""
+def emit_attention(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str,
+                   causal: bool = True) -> Var:
+    """Multi-head self-attention, traced to primitives.
+
+    ``causal=False`` skips the mask addition (bidirectional encoders:
+    BERT, ViT); the rest of the trace is identical.
+    """
     B, S, H = x.shape
     nh, dh = cfg.n_heads, cfg.head_dim
     dt = cfg.dtype
@@ -65,8 +70,9 @@ def emit_attention(b: GraphBuilder, x: Var, cfg: ModelConfig, prefix: str) -> Va
                                name=f"{prefix}.qk")
     scale = b.literal((), dt, name="1/sqrt(dh)")
     scores = b.mul(scores, scale)
-    causal = b.literal((1, 1, S, S), dt, name="causal_mask")
-    scores = b.add(scores, causal)
+    if causal:
+        mask = b.literal((1, 1, S, S), dt, name="causal_mask")
+        scores = b.add(scores, mask)
     attn = b.softmax(scores, axis=-1)
     ctx = b.einsum_contract(attn, vh, (B, nh, S, dh), contract=S,
                             name=f"{prefix}.av")
@@ -151,13 +157,16 @@ class EmbeddingLayer(Layer):
 
 @dataclass
 class TransformerLayer(Layer):
+    #: decoder blocks mask attention; encoder subclasses flip this off
+    causal = True
+
     def __post_init__(self) -> None:
         self.name = f"block{self.index}"
 
     def emit(self, b: GraphBuilder, x: Var) -> Var:
         cfg, p = self.cfg, self.name
         h = emit_layer_norm(b, x, cfg, f"{p}.ln1")
-        h = emit_attention(b, h, cfg, f"{p}.attn")
+        h = emit_attention(b, h, cfg, f"{p}.attn", causal=self.causal)
         x = b.add(x, h)
         h = emit_layer_norm(b, x, cfg, f"{p}.ln2")
         h = emit_mlp(b, h, cfg, f"{p}.mlp")
@@ -166,6 +175,16 @@ class TransformerLayer(Layer):
     def param_count(self) -> int:
         cfg = self.cfg
         return 4 * cfg.hidden * cfg.hidden + 2 * cfg.hidden * cfg.ffn + 4 * cfg.hidden
+
+
+@dataclass
+class EncoderLayer(TransformerLayer):
+    """Bidirectional transformer block (BERT / ViT): no causal mask."""
+
+    causal = False
+
+    def __post_init__(self) -> None:
+        self.name = f"enc{self.index}"
 
 
 @dataclass
@@ -187,6 +206,56 @@ class MoELayer(Layer):
         return (4 * cfg.hidden * cfg.hidden
                 + cfg.n_experts * 2 * cfg.hidden * cfg.ffn
                 + cfg.hidden * cfg.n_experts + 4 * cfg.hidden)
+
+
+@dataclass
+class PatchEmbedLayer(Layer):
+    """ViT patch embedding: (B, C, H, W) image → (B, N, hidden) tokens."""
+
+    input_kind: str = "image"
+
+    def __post_init__(self) -> None:
+        self.name = "patch_embed"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:
+        cfg = self.cfg
+        B, C, Hi, Wi = x.shape
+        P = cfg.patch_size
+        gh, gw = Hi // P, Wi // P
+        n_patches = gh * gw
+        # space-to-depth: split each axis into (grid, patch) and gather the
+        # per-patch pixels contiguously
+        t = b.reshape(x, (B, C, gh, P, gw, P))
+        t = b.transpose(t, (0, 2, 4, 1, 3, 5))
+        t = b.reshape(t, (B, n_patches, C * P * P))
+        h = _linear(b, t, "patch_proj", C * P * P, cfg.hidden, cfg.dtype)
+        pos = b.param("pos_embed", (1, n_patches, cfg.hidden), cfg.dtype)
+        return b.add(h, pos)
+
+    def param_count(self) -> int:
+        cfg = self.cfg
+        patch_dim = cfg.in_channels * cfg.patch_size ** 2
+        return (patch_dim * cfg.hidden + cfg.hidden
+                + cfg.seq_len * cfg.hidden)
+
+
+@dataclass
+class ClassifierHeadLayer(Layer):
+    """Mean-pool over tokens, then project to class logits (ViT head)."""
+
+    def __post_init__(self) -> None:
+        self.name = "cls_head"
+
+    def emit(self, b: GraphBuilder, x: Var) -> Var:
+        cfg = self.cfg
+        h = emit_layer_norm(b, x, cfg, "ln_f")
+        pooled = b.reduce_mean(h, (1,))
+        return _linear(b, pooled, "cls_head", cfg.hidden, cfg.n_classes,
+                       cfg.dtype)
+
+    def param_count(self) -> int:
+        cfg = self.cfg
+        return cfg.hidden * cfg.n_classes + cfg.n_classes + 2 * cfg.hidden
 
 
 @dataclass

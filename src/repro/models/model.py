@@ -14,7 +14,16 @@ from functools import lru_cache
 from ..ir.builder import GraphBuilder
 from ..ir.graph import Graph
 from .configs import ModelConfig
-from .layers import EmbeddingLayer, Layer, LMHeadLayer, MoELayer, TransformerLayer
+from .layers import (
+    ClassifierHeadLayer,
+    EmbeddingLayer,
+    EncoderLayer,
+    Layer,
+    LMHeadLayer,
+    MoELayer,
+    PatchEmbedLayer,
+    TransformerLayer,
+)
 
 
 @dataclass
@@ -46,6 +55,9 @@ class Model:
         first = self.layers[start]
         if first.input_kind == "tokens":
             x = b.input("tokens", (B, cfg.seq_len), "int32")
+        elif first.input_kind == "image":
+            x = b.input("image", (B, cfg.in_channels, cfg.image_size,
+                                  cfg.image_size), cfg.dtype)
         else:
             x = b.input("hidden_in", (B, cfg.seq_len, cfg.hidden), cfg.dtype)
         for layer in self.layers[start:end]:
@@ -87,10 +99,29 @@ def build_moe(cfg: ModelConfig) -> Model:
     return Model(cfg, layers)
 
 
+def build_bert(cfg: ModelConfig) -> Model:
+    """BERT-style encoder stack: embed, N bidirectional blocks, MLM head."""
+    layers: list[Layer] = [EmbeddingLayer(cfg, 0)]
+    layers += [EncoderLayer(cfg, i + 1) for i in range(cfg.n_layers)]
+    layers.append(LMHeadLayer(cfg, cfg.n_layers + 1))
+    return Model(cfg, layers)
+
+
+def build_vit(cfg: ModelConfig) -> Model:
+    """ViT: patch embedding, N bidirectional blocks, classifier head."""
+    layers: list[Layer] = [PatchEmbedLayer(cfg, 0)]
+    layers += [EncoderLayer(cfg, i + 1) for i in range(cfg.n_layers)]
+    layers.append(ClassifierHeadLayer(cfg, cfg.n_layers + 1))
+    return Model(cfg, layers)
+
+
+_BUILDERS = {"gpt": build_gpt, "moe": build_moe,
+             "bert": build_bert, "vit": build_vit}
+
+
 def build_model(cfg: ModelConfig) -> Model:
     """Dispatch on the config family."""
-    if cfg.family == "gpt":
-        return build_gpt(cfg)
-    if cfg.family == "moe":
-        return build_moe(cfg)
-    raise ValueError(f"unknown model family {cfg.family!r}")
+    try:
+        return _BUILDERS[cfg.family](cfg)
+    except KeyError:
+        raise ValueError(f"unknown model family {cfg.family!r}") from None

@@ -2,7 +2,7 @@
 
 Given per-(slice, submesh) optimal stage latencies — obtained either by
 profiling or by PredTOP prediction — choose contiguous unit slices and
-submesh assignments minimizing the Eqn-4 pipeline latency
+submesh assignments minimizing the pipeline latency, by default Eqn 4
 
 ``T = Σ t_i + (B-1) · max_j t_j``
 
@@ -10,7 +10,15 @@ over all partitions whose submeshes exactly cover the cluster.  Following
 Alpa (OSDI'22 §5.2), the max term is handled by iterating over candidate
 ``t_max`` values (the distinct stage latencies): for each bound, a DP
 minimizes ``Σ t_i`` subject to every stage's latency ≤ ``t_max``; the best
-``F(·) + (B-1)·t_max`` over all bounds is optimal.
+objective over all bounds is optimal.
+
+With a :class:`~repro.runtime.schedules.ScheduleSpec` the DP minimizes
+that schedule's closed form instead, through its
+``dp_objective(sum_t, max_t, B)`` — any function nondecreasing in both
+arguments keeps the t_max-iteration scheme exact, because for a fixed
+bound the DP still minimizes ``Σ t_i`` and the per-bound optimum is
+``dp_objective(min Σ t, t_max, B)``.  ``schedule=None`` (the default)
+preserves the original Eqn-4 arithmetic bit for bit.
 
 ``StageLatencySource`` abstracts where latencies come from, so exhaustive
 profiling, partial profiling, and PredTOP variants all reuse this DP.
@@ -19,11 +27,14 @@ profiling, partial profiling, and PredTOP variants all reuse this DP.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from ..cluster.mesh import DeviceMesh
 from ..models.clustering import Clustering
 from .plans import ParallelPlan, StageAssignment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.schedules import ScheduleSpec
 
 INFEASIBLE = float("inf")
 
@@ -60,6 +71,7 @@ def slice_stages(
     n_microbatches: int,
     total_devices: int | None = None,
     max_stages: int | None = None,
+    schedule: "ScheduleSpec | None" = None,
 ) -> ParallelPlan:
     """Run the Alpa inter-op DP; returns the best pipeline plan.
 
@@ -68,10 +80,13 @@ def slice_stages(
         submeshes: candidate submeshes (sorted arbitrarily; indexed by
             position when querying ``source``).
         source: per-(slice, submesh) optimal stage latency.
-        n_microbatches: ``B`` in Eqn 4.
+        n_microbatches: ``B`` in the pipeline closed form.
         total_devices: devices that must be exactly covered (default: the
             largest submesh's device count).
         max_stages: optional cap on pipeline depth.
+        schedule: pipeline schedule whose ``dp_objective`` the DP
+            minimizes; ``None`` keeps the original Eqn-4 float
+            arithmetic exactly (the 1F1B differential tests pin this).
 
     Returns:
         The minimizing :class:`ParallelPlan`; its ``iteration_latency`` is
@@ -80,6 +95,21 @@ def slice_stages(
     U = clustering.n_units
     D = total_devices or max(m.num_devices for m in submeshes)
     sizes = [m.num_devices for m in submeshes]
+
+    if schedule is None:
+        def objective(total: float, t_max: float) -> float:
+            return total + (n_microbatches - 1) * t_max
+
+        def floor(t_max: float) -> float:
+            return (n_microbatches - 1) * t_max
+    else:
+        def objective(total: float, t_max: float) -> float:
+            return schedule.dp_objective(total, t_max, n_microbatches)
+
+        def floor(t_max: float) -> float:
+            # with sum_t = 0 this is the smallest objective any plan
+            # bounded by t_max can reach (dp_objective is nondecreasing)
+            return schedule.dp_objective(0.0, t_max, n_microbatches)
 
     # distinct candidate t_max values, ascending
     candidates = sorted({
@@ -93,15 +123,15 @@ def slice_stages(
     best_plan: ParallelPlan | None = None
     best_total = INFEASIBLE
     for t_max in candidates:
-        # candidates ascend: once the (B-1)·t_max term alone exceeds the
+        # candidates ascend: once the t_max-only term alone exceeds the
         # incumbent, no later bound can win
-        if best_plan is not None and (n_microbatches - 1) * t_max >= best_total:
+        if best_plan is not None and floor(t_max) >= best_total:
             break
         total, stages = _dp_min_sum(clustering, submeshes, source, D,
                                     t_max, max_stages)
         if total >= INFEASIBLE:
             continue
-        pipeline = total + (n_microbatches - 1) * t_max
+        pipeline = objective(total, t_max)
         if pipeline < best_total:
             best_total = pipeline
             best_plan = ParallelPlan(stages, pipeline, n_microbatches)

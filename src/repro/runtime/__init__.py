@@ -4,18 +4,30 @@ from .executor import StageProfile, execute_plan
 from .noise import NOISE_SIGMA, measurement_factor, stable_seed
 from .opcost import graph_bytes, graph_flops, op_time
 from .pipeline import (
+    PipelineEvent,
     PipelineSchedule,
     PipelineSimulator,
+    event_sort_key,
     simulated_latency,
     whitebox_latency,
 )
 from .profiler import ProfiledStage, StageProfiler, profiling_cost
+from .schedules import (
+    ScheduleSpec,
+    WorkItem,
+    get_schedule,
+    register_schedule,
+    schedule_names,
+    simulate_items,
+)
 
 __all__ = [
     "op_time", "graph_flops", "graph_bytes",
     "StageProfile", "execute_plan",
     "measurement_factor", "stable_seed", "NOISE_SIGMA",
     "whitebox_latency", "simulated_latency", "PipelineSimulator",
-    "PipelineSchedule",
+    "PipelineSchedule", "PipelineEvent", "event_sort_key",
+    "ScheduleSpec", "WorkItem", "simulate_items",
+    "get_schedule", "register_schedule", "schedule_names",
     "StageProfiler", "ProfiledStage", "profiling_cost",
 ]

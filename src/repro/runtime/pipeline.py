@@ -44,7 +44,19 @@ class PipelineEvent:
     time: float
     stage: int
     microbatch: int
-    phase: str  # "pass" | "fwd" | "bwd"
+    phase: str  # "pass" | "fwd" | "bwd" | schedule-specific (e.g. "pass.v0")
+    #: when the work item began executing (``time`` is its completion)
+    start: float = 0.0
+
+
+def event_sort_key(e: PipelineEvent) -> tuple[float, int, int, str]:
+    """Canonical trace order: ``(time, stage, microbatch, phase)``.
+
+    Events completing at equal timestamps would otherwise surface in
+    scheduler-internal order; sorting by this key makes traces stable
+    for golden comparisons across schedules and simulator versions.
+    """
+    return (e.time, e.stage, e.microbatch, e.phase)
 
 
 @dataclass
@@ -106,9 +118,16 @@ class PipelineSimulator:
                 end = start + self.times[s]
                 free = end
                 ready[m] = end + (self.transfer if s + 1 < S else 0.0)
-                events.append(PipelineEvent(end, s, m, "pass"))
+                events.append(PipelineEvent(end, s, m, "pass", start=start))
         makespan = max(e.time for e in events)
+        events.sort(key=event_sort_key)
         return PipelineSchedule(makespan, events)
+
+    #: heap entries carry an integer phase rank, never the phase string,
+    #: so equal-priority ties break on ``(prio, microbatch, rank)`` —
+    #: deterministic and total — instead of falling through to string
+    #: comparison of tuple tails
+    _FWD, _BWD = 0, 1
 
     def _run_split(self) -> PipelineSchedule:
         """Separate fwd/bwd passes served in 1F1B priority order."""
@@ -117,7 +136,7 @@ class PipelineSimulator:
         free_at = [0.0] * S
         events: list[PipelineEvent] = []
         for m in range(B):
-            heapq.heappush(ready[0], (0, m, "fwd", 0.0))
+            heapq.heappush(ready[0], (0, m, self._FWD, 0.0))
 
         pending = B * S * 2
         while pending:
@@ -125,32 +144,35 @@ class PipelineSimulator:
             for s in range(S):
                 if not ready[s]:
                     continue
-                prio, m, phase, rt = ready[s][0]
+                prio, m, rank, rt = ready[s][0]
                 start = max(rt, free_at[s])
-                key = (start, s, prio)
+                key = (start, s, prio, m)
                 if best is None or key < best[0]:
                     best = (key, s)
             if best is None:  # pragma: no cover - defensive
                 raise RuntimeError("pipeline deadlock")
             _, s = best
-            prio, m, phase, rt = heapq.heappop(ready[s])
+            prio, m, rank, rt = heapq.heappop(ready[s])
             start = max(rt, free_at[s])
-            dur = self.fwd[s] if phase == "fwd" else self.bwd[s]
+            dur = self.fwd[s] if rank == self._FWD else self.bwd[s]
             end = start + dur
             free_at[s] = end
-            events.append(PipelineEvent(end, s, m, phase))
+            events.append(PipelineEvent(
+                end, s, m, "fwd" if rank == self._FWD else "bwd",
+                start=start))
             pending -= 1
-            if phase == "fwd":
+            if rank == self._FWD:
                 if s + 1 < S:
                     heapq.heappush(ready[s + 1],
-                                   (0, m, "fwd", end + self.transfer))
+                                   (0, m, self._FWD, end + self.transfer))
                 else:
-                    heapq.heappush(ready[s], (-1, m, "bwd", end))
+                    heapq.heappush(ready[s], (-1, m, self._BWD, end))
             else:
                 if s - 1 >= 0:
                     heapq.heappush(ready[s - 1],
-                                   (-1, m, "bwd", end + self.transfer))
+                                   (-1, m, self._BWD, end + self.transfer))
         makespan = max(e.time for e in events)
+        events.sort(key=event_sort_key)
         return PipelineSchedule(makespan, events)
 
 

@@ -1,0 +1,483 @@
+"""Pipeline-schedule registry: closed forms + validated simulations.
+
+The paper's white-box layer is 1F1B-only (Eqn 4,
+:func:`~repro.runtime.pipeline.whitebox_latency`).  This module
+generalizes it into a registry of :class:`ScheduleSpec` objects, each
+providing, for ``S`` stages and ``B`` microbatches:
+
+* ``closed_form(stage_times, B)`` — an analytical makespan under the
+  flow-shop assumptions (zero transfer cost, per-device FIFO service in
+  schedule priority order);
+* ``work_items(stage_times, B)`` — the schedule's dependency graph of
+  (stage, microbatch, phase) work items, executed by the generic
+  discrete-event engine :func:`simulate_items`;
+* a **validation contract** (:meth:`ScheduleSpec.validate`) asserting the
+  simulated makespan equals the closed form, the same way 1F1B is pinned
+  against Eqn 4 today;
+* ``dp_objective(sum_t, max_t, B)`` — the plan-search objective consumed
+  by the Alpa inter-op DP (:mod:`repro.parallel.inter_op`), nondecreasing
+  in both arguments so the t_max-iteration scheme stays optimal.
+
+Registered schedules and their closed forms (all exact under the
+flow-shop assumptions; ``t_s`` per-stage combined fwd+bwd times):
+
+* ``1f1b``        — Eqn 4: ``T = Σ t_s + (B-1)·max t_s``.
+* ``gpipe``       — flush between passes; with ``f_s = (1-r)·t_s``,
+  ``b_s = r·t_s``: ``T = [Σ f + (B-1)·max f] + [Σ b + (B-1)·max b]``
+  (forward flow shop, then the backward reverse flow shop starts at the
+  flush with every device provably idle).
+* ``interleaved`` — interleaved 1F1B with ``V`` virtual chunks per
+  device, ``c_s = t_s / V``, ``K = B·V`` chunk-jobs:
+  ``T = Σ c + max[(K-1)·max c, (V-1)·Σ c + (B-1)·max c]``
+  (longest path of the cyclic flow shop is linear in the number of full
+  wrap traversals, so only the two endpoints matter).
+* ``2bp``         — 2BP's two-stage backward split: ``f = r_f·t``,
+  ``b1 = r_1·t`` (activation grads, on the critical path), ``b2``
+  (weight grads, deferred until after the stage's last b1):
+  ``T = max_s [T_F + Σ b1[s:] + (B-1)·max b1[s:] + B·b2_s]`` with
+  ``T_F = Σ f + (B-1)·max f``.
+
+``2bp`` can legitimately finish *below* ``Σ t`` — deferring weight
+gradients lets different stages' b2 work overlap, which is 2BP's whole
+point — so its :meth:`~ScheduleSpec.lower_bound` is the split-aware
+envelope ``max(Σ f + Σ b1 + B·b2_0, B·max t)`` rather than the generic
+``max(Σ t, B·max t)`` the other three satisfy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from .pipeline import (
+    PipelineEvent,
+    PipelineSchedule,
+    event_sort_key,
+    whitebox_latency,
+)
+
+Key = tuple[int, int, str]  # (stage, microbatch, phase)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: a (stage, microbatch, phase) pass.
+
+    ``priority`` orders service on the item's device (devices run their
+    items strictly in ascending priority); ``deps`` are the keys of items
+    that must finish first (cross-device deps are charged the transfer
+    time).
+    """
+
+    stage: int
+    microbatch: int
+    phase: str
+    device: int
+    duration: float
+    priority: tuple[int, ...]
+    deps: tuple[Key, ...] = ()
+
+    @property
+    def key(self) -> Key:
+        return (self.stage, self.microbatch, self.phase)
+
+
+def simulate_items(items: Sequence[WorkItem],
+                   transfer_time: float = 0.0) -> PipelineSchedule:
+    """Generic discrete-event engine over explicit work items.
+
+    Each device serves its items strictly in ``priority`` order (the
+    previous item on the device is an implicit dependency), so an item's
+    start time is ``max`` over its constraints' finish times — resolved
+    the moment its last constraint completes.  Resolved items are
+    processed through a heap keyed ``(start, stage, microbatch, phase)``,
+    which makes the event trace deterministic under equal timestamps and
+    independent of the input item order.
+    """
+    if not items:
+        return PipelineSchedule(0.0, [])
+    by_key: dict[Key, WorkItem] = {}
+    for it in items:
+        if it.key in by_key:
+            raise ValueError(f"duplicate work item {it.key}")
+        by_key[it.key] = it
+
+    # per-device service order -> implicit predecessor dependency
+    per_device: dict[int, list[WorkItem]] = {}
+    for it in items:
+        per_device.setdefault(it.device, []).append(it)
+    extra_dep: dict[Key, Key] = {}
+    for dev_items in per_device.values():
+        dev_items.sort(key=lambda it: (it.priority, it.key))
+        for prev, cur in zip(dev_items, dev_items[1:]):
+            extra_dep[cur.key] = prev.key
+
+    waiting: dict[Key, int] = {}
+    dependents: dict[Key, list[Key]] = {}
+    for it in items:
+        count = 0
+        for d in it.deps:
+            if d not in by_key:
+                raise ValueError(f"unknown dependency {d} of {it.key}")
+            dependents.setdefault(d, []).append(it.key)
+            count += 1
+        prev = extra_dep.get(it.key)
+        if prev is not None:
+            dependents.setdefault(prev, []).append(it.key)
+            count += 1
+        waiting[it.key] = count
+
+    ready_at: dict[Key, float] = {k: 0.0 for k in by_key}
+    finish: dict[Key, float] = {}
+    heap: list[tuple[float, int, int, str]] = []
+    for k, count in waiting.items():
+        if count == 0:
+            heapq.heappush(heap, (0.0, *k))
+    events: list[PipelineEvent] = []
+    while heap:
+        start, s, m, phase = heapq.heappop(heap)
+        it = by_key[(s, m, phase)]
+        end = start + it.duration
+        finish[it.key] = end
+        events.append(PipelineEvent(end, s, m, phase, start=start))
+        for dk in dependents.get(it.key, ()):
+            dep_item = by_key[dk]
+            arrival = end + (transfer_time
+                             if dep_item.device != it.device else 0.0)
+            if arrival > ready_at[dk]:
+                ready_at[dk] = arrival
+            waiting[dk] -= 1
+            if waiting[dk] == 0:
+                heapq.heappush(heap, (ready_at[dk], *dk))
+    if len(finish) != len(by_key):
+        raise RuntimeError("schedule deadlock: cyclic work-item dependencies")
+    events.sort(key=event_sort_key)
+    return PipelineSchedule(max(finish.values()), events)
+
+
+class ScheduleSpec:
+    """One pipeline schedule: closed form, work items, validation."""
+
+    name = "abstract"
+
+    # ------------------------------------------------------------ interface
+    def closed_form(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        """Analytical makespan under the flow-shop assumptions."""
+        raise NotImplementedError
+
+    def work_items(self, stage_times: Sequence[float],
+                   n_microbatches: int) -> list[WorkItem]:
+        """The schedule's dependency graph for the event engine."""
+        raise NotImplementedError
+
+    def dp_objective(self, sum_t: float, max_t: float,
+                     n_microbatches: int) -> float:
+        """Plan-search objective over (Σ t, max t); nondecreasing in both."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------- derived API
+    def simulate(self, stage_times: Sequence[float], n_microbatches: int,
+                 transfer_time: float = 0.0) -> PipelineSchedule:
+        self._check(stage_times, n_microbatches)
+        return simulate_items(self.work_items(stage_times, n_microbatches),
+                              transfer_time)
+
+    def simulated_latency(self, stage_times: Sequence[float],
+                          n_microbatches: int,
+                          transfer_time: float = 0.0) -> float:
+        return self.simulate(stage_times, n_microbatches,
+                             transfer_time).makespan
+
+    def lower_bound(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        """No schedule beats the critical path or the bottleneck's work."""
+        return max(sum(stage_times), n_microbatches * max(stage_times))
+
+    def validate(self, stage_times: Sequence[float], n_microbatches: int,
+                 rel: float = 1e-9) -> float:
+        """Assert simulator == closed form (and both ≥ the lower bound).
+
+        The per-schedule contract of the registry: under zero transfer
+        cost the discrete-event simulation must reproduce the analytical
+        makespan exactly (up to float association, ``rel``).  Returns the
+        closed-form value.
+        """
+        cf = self.closed_form(stage_times, n_microbatches)
+        sim = self.simulated_latency(stage_times, n_microbatches)
+        tol = rel * max(1.0, abs(cf))
+        if abs(sim - cf) > tol:
+            raise AssertionError(
+                f"{self.name}: simulator {sim!r} != closed form {cf!r} "
+                f"for stages={list(stage_times)!r} B={n_microbatches}")
+        lb = self.lower_bound(stage_times, n_microbatches)
+        if sim < lb - tol:
+            raise AssertionError(
+                f"{self.name}: makespan {sim!r} beats lower bound {lb!r} "
+                f"for stages={list(stage_times)!r} B={n_microbatches}")
+        return cf
+
+    @staticmethod
+    def _check(stage_times: Sequence[float], n_microbatches: int) -> None:
+        if n_microbatches < 1:
+            raise ValueError("need at least one microbatch")
+        if len(stage_times) == 0:
+            raise ValueError("need at least one stage")
+
+
+class OneFOneBSchedule(ScheduleSpec):
+    """1F1B with combined fwd+bwd passes — the paper's Eqn-4 flow shop.
+
+    The registry path is pinned bit-identical to the seed
+    :func:`whitebox_latency` / ``PipelineSimulator`` combined mode by the
+    differential tests: the closed form *is* ``whitebox_latency`` and the
+    work-item recurrence performs the same ``max(ready, free) + t``
+    float operations in the same order.
+    """
+
+    name = "1f1b"
+
+    def closed_form(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        return whitebox_latency(stage_times, n_microbatches)
+
+    def work_items(self, stage_times: Sequence[float],
+                   n_microbatches: int) -> list[WorkItem]:
+        items = []
+        for s, t in enumerate(stage_times):
+            for m in range(n_microbatches):
+                deps = ((s - 1, m, "pass"),) if s > 0 else ()
+                items.append(WorkItem(s, m, "pass", s, t, (m,), deps))
+        return items
+
+    def dp_objective(self, sum_t: float, max_t: float,
+                     n_microbatches: int) -> float:
+        return sum_t + (n_microbatches - 1) * max_t
+
+
+class GPipeSchedule(ScheduleSpec):
+    """GPipe: all forwards, a flush, then all backwards.
+
+    ``bwd_ratio`` splits each stage time into ``f_s = (1-r)·t_s`` and
+    ``b_s = r·t_s`` (the ~2× backward cost of recompute-free training).
+    The backward phase is a reverse flow shop that starts at the forward
+    flush with every device idle, so both halves contribute a full
+    Eqn-4 term.
+    """
+
+    name = "gpipe"
+
+    def __init__(self, bwd_ratio: float = 2.0 / 3.0) -> None:
+        if not 0.0 < bwd_ratio < 1.0:
+            raise ValueError("bwd_ratio must be in (0, 1)")
+        self.bwd_ratio = bwd_ratio
+
+    def _split(self, stage_times: Sequence[float]):
+        r = self.bwd_ratio
+        return ([t * (1.0 - r) for t in stage_times],
+                [t * r for t in stage_times])
+
+    def closed_form(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        if len(stage_times) == 0:
+            return 0.0
+        self._check(stage_times, n_microbatches)
+        f, b = self._split(stage_times)
+        B = n_microbatches
+        return (sum(f) + (B - 1) * max(f)) + (sum(b) + (B - 1) * max(b))
+
+    def work_items(self, stage_times: Sequence[float],
+                   n_microbatches: int) -> list[WorkItem]:
+        S, B = len(stage_times), n_microbatches
+        f, b = self._split(stage_times)
+        items = []
+        for s in range(S):
+            for m in range(B):
+                fdeps = ((s - 1, m, "fwd"),) if s > 0 else ()
+                items.append(WorkItem(s, m, "fwd", s, f[s], (0, m), fdeps))
+                # the flush: the last stage's backwards wait for the full
+                # forward phase; upstream backwards chain stage to stage
+                bdeps = (((S - 1, B - 1, "fwd"),) if s == S - 1
+                         else ((s + 1, m, "bwd"),))
+                items.append(WorkItem(s, m, "bwd", s, b[s], (1, m), bdeps))
+        return items
+
+    def dp_objective(self, sum_t: float, max_t: float,
+                     n_microbatches: int) -> float:
+        r = self.bwd_ratio
+        B = n_microbatches
+        return ((1.0 - r) * sum_t + (B - 1) * ((1.0 - r) * max_t)
+                + r * sum_t + (B - 1) * (r * max_t))
+
+
+class InterleavedSchedule(ScheduleSpec):
+    """Interleaved 1F1B: each device runs ``V`` virtual model chunks.
+
+    Stage ``s``'s time splits into ``V`` chunks of ``c_s = t_s / V``;
+    chunk ``v`` of microbatch ``m`` is job ``k = v·B + m`` and wraps from
+    the last device back to the first (``(k-B, S-1) → (k, 0)``).  The
+    longest path through the cyclic flow shop makes ``w`` full wrap
+    traversals (``w·Σ c``) plus horizontal steps at the bottleneck
+    (``(K-1-w·B)·max c``); linear in ``w``, so the maximum is at an
+    endpoint — giving a makespan never above Eqn 4 (equal at ``V=1``).
+    """
+
+    name = "interleaved"
+
+    def __init__(self, virtual_stages: int = 2) -> None:
+        if virtual_stages < 1:
+            raise ValueError("need at least one virtual stage")
+        self.virtual_stages = virtual_stages
+
+    def closed_form(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        if len(stage_times) == 0:
+            return 0.0
+        self._check(stage_times, n_microbatches)
+        V, B = self.virtual_stages, n_microbatches
+        c = [t / V for t in stage_times]
+        sum_c, max_c = sum(c), max(c)
+        K = B * V
+        return sum_c + max((K - 1) * max_c,
+                           (V - 1) * sum_c + (B - 1) * max_c)
+
+    def work_items(self, stage_times: Sequence[float],
+                   n_microbatches: int) -> list[WorkItem]:
+        S, B, V = len(stage_times), n_microbatches, self.virtual_stages
+        c = [t / V for t in stage_times]
+        items = []
+        for v in range(V):
+            phase = f"pass.v{v}"
+            for s in range(S):
+                for m in range(B):
+                    if s > 0:
+                        deps: tuple[Key, ...] = ((s - 1, m, phase),)
+                    elif v > 0:
+                        deps = ((S - 1, m, f"pass.v{v - 1}"),)
+                    else:
+                        deps = ()
+                    items.append(WorkItem(s, m, phase, s, c[s],
+                                          (v, m), deps))
+        return items
+
+    def dp_objective(self, sum_t: float, max_t: float,
+                     n_microbatches: int) -> float:
+        V, B = self.virtual_stages, n_microbatches
+        sum_c, max_c = sum_t / V, max_t / V
+        K = B * V
+        return sum_c + max((K - 1) * max_c,
+                           (V - 1) * sum_c + (B - 1) * max_c)
+
+
+class TwoBPSchedule(ScheduleSpec):
+    """2BP: backward split into activation grads (b1) and weight grads (b2).
+
+    ``f = r_f·t`` forwards run GPipe-style with a flush; ``b1 = r_1·t``
+    activation-gradient passes form the reverse flow shop (they are the
+    inter-stage dependency); ``b2`` weight-gradient work has no
+    downstream consumer and is deferred until after the stage's last b1,
+    letting different stages' b2 overlap — which is why 2BP may finish
+    below ``Σ t`` (see :meth:`lower_bound`).
+    """
+
+    name = "2bp"
+
+    def __init__(self, fwd_ratio: float = 1.0 / 3.0,
+                 b1_ratio: float = 1.0 / 3.0) -> None:
+        if fwd_ratio <= 0 or b1_ratio <= 0 or fwd_ratio + b1_ratio >= 1.0:
+            raise ValueError("need fwd_ratio, b1_ratio > 0 with sum < 1")
+        self.fwd_ratio = fwd_ratio
+        self.b1_ratio = b1_ratio
+
+    def _split(self, stage_times: Sequence[float]):
+        rf, r1 = self.fwd_ratio, self.b1_ratio
+        r2 = 1.0 - rf - r1
+        return ([t * rf for t in stage_times],
+                [t * r1 for t in stage_times],
+                [t * r2 for t in stage_times])
+
+    def closed_form(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        if len(stage_times) == 0:
+            return 0.0
+        self._check(stage_times, n_microbatches)
+        f, b1, b2 = self._split(stage_times)
+        S, B = len(stage_times), n_microbatches
+        t_flush = sum(f) + (B - 1) * max(f)
+        return max(t_flush + sum(b1[s:]) + (B - 1) * max(b1[s:])
+                   + B * b2[s] for s in range(S))
+
+    def work_items(self, stage_times: Sequence[float],
+                   n_microbatches: int) -> list[WorkItem]:
+        S, B = len(stage_times), n_microbatches
+        f, b1, b2 = self._split(stage_times)
+        items = []
+        for s in range(S):
+            for m in range(B):
+                fdeps = ((s - 1, m, "fwd"),) if s > 0 else ()
+                items.append(WorkItem(s, m, "fwd", s, f[s], (0, m), fdeps))
+                b1deps = (((S - 1, B - 1, "fwd"),) if s == S - 1
+                          else ((s + 1, m, "bwd1"),))
+                items.append(WorkItem(s, m, "bwd1", s, b1[s], (1, m), b1deps))
+                # weight grads only need the stage's own b1 outputs; serving
+                # them after the last local b1 keeps b1 on the critical path
+                items.append(WorkItem(s, m, "bwd2", s, b2[s], (2, m),
+                                      ((s, B - 1, "bwd1"),)))
+        return items
+
+    def dp_objective(self, sum_t: float, max_t: float,
+                     n_microbatches: int) -> float:
+        # upper-bound surrogate of the closed form (which needs per-stage
+        # suffix structure the DP does not track): replace every suffix
+        # max/sum with the global one — still nondecreasing in both args
+        rf, r1 = self.fwd_ratio, self.b1_ratio
+        r2 = 1.0 - rf - r1
+        B = n_microbatches
+        return ((rf + r1) * sum_t
+                + ((B - 1) * (rf + r1) + B * r2) * max_t)
+
+    def lower_bound(self, stage_times: Sequence[float],
+                    n_microbatches: int) -> float:
+        f, b1, b2 = self._split(stage_times)
+        B = n_microbatches
+        # stage 0 finishes the last b1 in the reverse flow shop, then its
+        # own B·b2; the bottleneck device still owes B·t of total work
+        return max(sum(f) + sum(b1) + B * b2[0],
+                   B * max(stage_times))
+
+
+# ------------------------------------------------------------------ registry
+_REGISTRY: dict[str, ScheduleSpec] = {}
+
+
+def register_schedule(spec: ScheduleSpec, replace: bool = False) -> ScheduleSpec:
+    """Register a schedule under ``spec.name``.
+
+    New schedules are automatically covered by the property suite
+    (``tests/test_schedule_properties.py`` parametrizes over
+    :func:`schedule_names`), which enforces the validation contract.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"schedule {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_schedule(name: str) -> ScheduleSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown schedule {name!r}; "
+                         f"known: {schedule_names()}") from None
+
+
+def schedule_names() -> tuple[str, ...]:
+    """Registered schedule names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_schedule(OneFOneBSchedule())
+register_schedule(GPipeSchedule())
+register_schedule(InterleavedSchedule())
+register_schedule(TwoBPSchedule())

@@ -12,13 +12,23 @@ class TestParser:
                      ["profile", "--dp", "2"],
                      ["predict", "--epochs", "3"],
                      ["search", "--approach", "full"],
-                     ["bench", "table5", "--jobs", "2"]):
+                     ["search", "--schedule", "interleaved"],
+                     ["bench", "table5", "--jobs", "2"],
+                     ["bench", "schedules", "--family", "vit",
+                      "--schedule", "2bp"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
 
     def test_bench_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
             make_parser().parse_args(["bench", "table7"])
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["search", "--schedule", "dualpipe"])
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["bench", "schedules",
+                                      "--schedule", "dualpipe"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -91,3 +101,32 @@ class TestCommands:
         txt_path = tmp_path / "out" / "smoke" / "table5_gpt.txt"
         assert csv_path.is_file() and txt_path.is_file()
         assert "scenario,fraction,predictor,mre_pct" in csv_path.read_text()
+
+    def test_bench_schedules_writes_artifacts(self, capsys, tmp_path,
+                                              monkeypatch):
+        import repro.experiments.cache as cache_mod
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+        rc = main(["bench", "schedules", "--family", "vit", "--jobs", "1",
+                   "--profile", "smoke", "--output", str(tmp_path / "out")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validated simulator == closed form" in out
+        csv_path = tmp_path / "out" / "smoke" / "schedule_grid_vit.csv"
+        assert csv_path.is_file()
+        text = csv_path.read_text()
+        assert text.startswith("schedule,n_stages,n_microbatches,")
+        for name in ("1f1b", "gpipe", "interleaved", "2bp"):
+            assert f"\n{name}," in text
+
+    def test_bench_schedules_quick_limits_families(self, capsys, tmp_path,
+                                                   monkeypatch):
+        import repro.experiments.cache as cache_mod
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+        rc = main(["bench", "schedules", "--quick", "--family", "all",
+                   "--schedule", "interleaved", "--jobs", "1",
+                   "--profile", "smoke", "--output", str(tmp_path / "out")])
+        assert rc == 0
+        written = {p.name for p in (tmp_path / "out" / "smoke").iterdir()}
+        assert written == {"schedule_grid_gpt.csv", "schedule_grid_gpt.txt"}

@@ -90,6 +90,36 @@ class TestFig2Golden:
             assert [f"{v:.6g}" for v in lats] == golden, family
 
 
+class TestScheduleGridGolden:
+    def test_schedule_grid_values_exact(self, cache_off):
+        """Schedule cells recompute in seconds (profiling + closed forms,
+        no predictor training); keep all four families value-exact in
+        every run.  Each recompute re-runs ``ScheduleSpec.validate``, so
+        this also re-asserts simulator == closed form on the pinned
+        stage vectors."""
+        from repro.experiments.schedule_grid import run_schedule_cell
+        from repro.runtime.schedules import schedule_names
+
+        for family in ("gpt", "moe", "bert", "vit"):
+            rows = {r["schedule"]: r
+                    for r in _read(f"schedule_grid_{family}.csv")}
+            assert set(rows) == set(schedule_names()), family
+            for name, r in rows.items():
+                cell = run_schedule_cell(family, name, FAST)
+                assert f"{cell.closed_form:.9g}" == r["closed_form_s"], \
+                    (family, name)
+                assert f"{cell.simulated:.9g}" == r["simulated_s"], \
+                    (family, name)
+                assert f"{cell.lower_bound:.9g}" == r["lower_bound_s"], \
+                    (family, name)
+                assert str(cell.n_events) == r["n_events"], (family, name)
+                assert str(cell.n_stages) == r["n_stages"], (family, name)
+                assert str(cell.n_microbatches) == r["n_microbatches"], \
+                    (family, name)
+                assert " ".join(f"{t:.9g}" for t in cell.stage_times) == \
+                    r["stage_times_s"], (family, name)
+
+
 @run_golden
 class TestTable5Golden:
     def test_table5_values_exact(self, cache_off):

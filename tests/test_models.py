@@ -7,8 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.models import (
+    BERT_LARGE,
     GPT3_1_3B,
     MOE_2_6B,
+    VIT_L16,
     ModelConfig,
     benchmark_config,
     build_model,
@@ -112,6 +114,80 @@ class TestStageGraphs:
     def test_activation_bytes(self, tiny_gpt):
         c = tiny_gpt.cfg
         assert tiny_gpt.activation_bytes() == c.microbatch * c.seq_len * c.hidden * 4
+
+
+class TestEncoderFamilies:
+    """BERT (bidirectional encoder) and ViT (patch-embedded encoder)."""
+
+    def test_bert_large_config(self):
+        c = BERT_LARGE
+        assert (c.seq_len, c.hidden, c.n_layers, c.n_heads, c.vocab) == (
+            512, 1024, 24, 16, 30522)
+
+    def test_vit_l16_config(self):
+        c = VIT_L16
+        assert (c.image_size, c.patch_size, c.n_classes) == (224, 16, 1000)
+        assert c.seq_len == (c.image_size // c.patch_size) ** 2
+
+    def test_bert_parameter_count_close_to_340m(self):
+        assert 3.0e8 < build_model(BERT_LARGE).param_count() < 4.2e8
+
+    def test_vit_parameter_count_close_to_300m(self):
+        assert 2.5e8 < build_model(VIT_L16).param_count() < 3.6e8
+
+    def test_vit_bad_patch_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", "vit", 196, 1024, 2, 16, 0, n_classes=1000,
+                        image_size=225, patch_size=16)
+        with pytest.raises(ValueError):
+            # seq_len must equal the patch-grid size
+            ModelConfig("x", "vit", 100, 1024, 2, 16, 0, n_classes=1000,
+                        image_size=224, patch_size=16)
+
+    def test_bert_attention_is_not_causal(self):
+        """The encoder omits the causal-mask add the GPT decoder carries."""
+        gpt = build_model(benchmark_config("gpt", n_layers=2))
+        bert = build_model(benchmark_config("bert", n_layers=2))
+        gpt_adds = [n.op for n in gpt.stage_graph(1, 2).operators()
+                    ].count("add")
+        bert_adds = [n.op for n in bert.stage_graph(1, 2).operators()
+                     ].count("add")
+        assert gpt_adds == bert_adds + 1
+
+    def test_bert_stage_graphs_validate_end_to_end(self):
+        m = build_model(benchmark_config("bert", n_layers=2))
+        g = m.full_graph()
+        g.validate()
+        assert g.inputs()[0].out.dtype.kind == "i"
+        assert g.outputs()[0].out.shape[-1] == m.cfg.vocab
+
+    def test_vit_takes_images_and_outputs_class_logits(self):
+        m = build_model(benchmark_config("vit", n_layers=2))
+        g = m.full_graph()
+        g.validate()
+        cfg = m.cfg
+        assert g.inputs()[0].out.shape == (
+            cfg.microbatch, cfg.in_channels, cfg.image_size, cfg.image_size)
+        assert g.outputs()[0].out.shape == (cfg.microbatch, cfg.n_classes)
+
+    def test_vit_mid_stage_takes_patch_hidden(self):
+        m = build_model(benchmark_config("vit", n_layers=2))
+        g = m.stage_graph(1, 2)
+        assert g.inputs()[0].out.shape == (
+            m.cfg.microbatch, m.cfg.seq_len, m.cfg.hidden)
+
+    @pytest.mark.parametrize("family", ("bert", "vit"))
+    def test_encoder_families_cluster_and_profile(self, family, mesh1):
+        from repro.runtime import StageProfiler
+
+        m = build_model(benchmark_config(family, n_layers=2))
+        cl = cluster_layers(m, 4)
+        profiler = StageProfiler(m, aggressive_fusion=True)
+        times = []
+        for u in range(cl.n_units):
+            s, e = cl.slice_range(u, u + 1)
+            times.append(profiler.profile_stage(s, e, mesh1, 1, 1).latency)
+        assert all(t > 0 for t in times)
 
 
 class TestClustering:

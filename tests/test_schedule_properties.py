@@ -1,0 +1,193 @@
+"""Property tests for the pipeline-schedule registry.
+
+Every registered schedule (the suite parametrizes over
+:func:`schedule_names`, so new registrations are covered automatically)
+must hold:
+
+* **validation contract** — the event-driven simulation equals the
+  schedule's closed form exactly under the flow-shop assumptions;
+* **lower bounds** — no schedule beats the bottleneck's busy time
+  ``B·max t``; all except 2BP also respect the one-microbatch critical
+  path ``Σ t`` (2BP's deferred weight grads overlap across stages, so
+  its envelope is the split-aware one it declares);
+* **hierarchy** — ``gpipe ≥ 1f1b ≥ interleaved`` pointwise (a flush only
+  adds slack; interleaving only removes it, equal at ``V=1``);
+* **trace invariants** — every work item executes exactly once, no
+  dependency is violated, and no device runs two items at once;
+* **determinism** — the event trace is a pure function of the work-item
+  *set*: permuting the input list changes nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.schedules import (
+    InterleavedSchedule,
+    get_schedule,
+    schedule_names,
+    simulate_items,
+)
+
+stage_lists = st.lists(st.floats(0.01, 5.0), min_size=1, max_size=8)
+micro = st.integers(1, 16)
+
+ALL_SCHEDULES = schedule_names()
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+class TestValidationContract:
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=40, deadline=None)
+    def test_simulator_equals_closed_form(self, name, stages, B):
+        spec = get_schedule(name)
+        cf = spec.validate(stages, B)  # raises on any disagreement
+        assert cf == pytest.approx(spec.simulated_latency(stages, B),
+                                   rel=1e-9)
+
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=40, deadline=None)
+    def test_respects_declared_lower_bound(self, name, stages, B):
+        spec = get_schedule(name)
+        sim = spec.simulated_latency(stages, B)
+        assert sim >= spec.lower_bound(stages, B) * (1 - 1e-9)
+        # the bottleneck-work envelope holds for every schedule
+        assert sim >= B * max(stages) * (1 - 1e-9)
+
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=30, deadline=None)
+    def test_transfers_only_add(self, name, stages, B):
+        spec = get_schedule(name)
+        free = spec.simulated_latency(stages, B)
+        slow = spec.simulated_latency(stages, B, transfer_time=0.05)
+        assert slow >= free - 1e-12
+
+    @given(stages=stage_lists, B=micro,
+           idx_frac=st.floats(0.0, 0.999), bump=st.floats(0.01, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_closed_form_monotone_in_stage_times(self, name, stages, B,
+                                                 idx_frac, bump):
+        spec = get_schedule(name)
+        slower = list(stages)
+        slower[int(idx_frac * len(stages))] += bump
+        assert spec.closed_form(slower, B) >= \
+            spec.closed_form(stages, B) - 1e-12
+
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=30, deadline=None)
+    def test_dp_objective_is_an_upper_proxy(self, name, stages, B):
+        """The DP objective at (Σ t, max t) never undercuts the closed
+        form — planning with it is conservative, never optimistic."""
+        spec = get_schedule(name)
+        obj = spec.dp_objective(sum(stages), max(stages), B)
+        assert obj >= spec.closed_form(stages, B) * (1 - 1e-9)
+
+
+class TestCriticalPathBound:
+    @pytest.mark.parametrize("name", ("1f1b", "gpipe", "interleaved"))
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=30, deadline=None)
+    def test_non_overlapping_schedules_respect_sum(self, name, stages, B):
+        """Without 2BP's deferred-work overlap, nothing beats Σ t."""
+        sim = get_schedule(name).simulated_latency(stages, B)
+        assert sim >= sum(stages) * (1 - 1e-9)
+
+
+class TestHierarchy:
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=40, deadline=None)
+    def test_gpipe_geq_1f1b_geq_interleaved(self, stages, B):
+        gpipe = get_schedule("gpipe").simulated_latency(stages, B)
+        onef = get_schedule("1f1b").simulated_latency(stages, B)
+        inter = get_schedule("interleaved").simulated_latency(stages, B)
+        assert gpipe >= onef * (1 - 1e-9)
+        assert onef >= inter * (1 - 1e-9)
+
+    @given(stages=stage_lists, B=micro)
+    @settings(max_examples=30, deadline=None)
+    def test_one_virtual_stage_is_plain_1f1b(self, stages, B):
+        v1 = InterleavedSchedule(virtual_stages=1)
+        assert v1.simulated_latency(stages, B) == pytest.approx(
+            get_schedule("1f1b").simulated_latency(stages, B), rel=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+class TestTraceInvariants:
+    @given(stages=stage_lists, B=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_is_a_valid_execution(self, name, stages, B):
+        spec = get_schedule(name)
+        items = spec.work_items(stages, B)
+        sched = simulate_items(items)
+        span = {(e.stage, e.microbatch, e.phase): (e.start, e.time)
+                for e in sched.events}
+        # every item executes exactly once
+        assert len(sched.events) == len(items)
+        assert set(span) == {it.key for it in items}
+        for it in items:
+            start, end = span[it.key]
+            assert end == pytest.approx(start + it.duration, rel=1e-12)
+            # no dependency violated (zero transfer cost here)
+            for dep in it.deps:
+                assert span[dep][1] <= start + 1e-12
+        # no device runs two items at once
+        by_device: dict[int, list[tuple[float, float]]] = {}
+        for it in items:
+            by_device.setdefault(it.device, []).append(span[it.key])
+        for spans in by_device.values():
+            spans.sort()
+            for (_, end), (nxt, _) in zip(spans, spans[1:]):
+                assert nxt >= end - 1e-12
+
+    @given(stages=stage_lists, B=st.integers(1, 8),
+           seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_independent_of_item_order(self, name, stages, B, seed):
+        """The heap tie-break makes the trace a function of the item set."""
+        import random
+
+        spec = get_schedule(name)
+        items = spec.work_items(stages, B)
+        base = simulate_items(items)
+        shuffled = list(items)
+        random.Random(seed).shuffle(shuffled)
+        again = simulate_items(shuffled)
+        assert again.makespan == base.makespan
+        assert again.events == base.events
+
+
+class TestEngineEdgeCases:
+    def test_duplicate_items_rejected(self):
+        spec = get_schedule("1f1b")
+        items = spec.work_items([1.0, 2.0], 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            simulate_items(items + [items[0]])
+
+    def test_unknown_dependency_rejected(self):
+        from repro.runtime.schedules import WorkItem
+
+        bad = WorkItem(0, 0, "pass", 0, 1.0, (0,), ((9, 9, "pass"),))
+        with pytest.raises(ValueError, match="unknown dependency"):
+            simulate_items([bad])
+
+    def test_cyclic_dependencies_detected(self):
+        from repro.runtime.schedules import WorkItem
+
+        a = WorkItem(0, 0, "a", 0, 1.0, (0,), ((0, 0, "b"),))
+        b = WorkItem(0, 0, "b", 1, 1.0, (0,), ((0, 0, "a"),))
+        with pytest.raises(RuntimeError, match="deadlock"):
+            simulate_items([a, b])
+
+    def test_empty_schedule(self):
+        sched = simulate_items([])
+        assert sched.makespan == 0.0 and sched.events == []
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULES)
+    def test_degenerate_inputs_rejected(self, name):
+        spec = get_schedule(name)
+        with pytest.raises(ValueError):
+            spec.simulate([], 4)
+        with pytest.raises(ValueError):
+            spec.simulate([1.0], 0)
