@@ -1,0 +1,53 @@
+"""Micro-benchmark of the CFP collapse pass (memo on vs off, cold).
+
+Statistical timing of cold intra-op corpus solves — every cache tier
+cleared before each pass, so the collapse memo's cross-graph sharing is
+what's measured, not the plan cache — under the default collapse gate
+and under ``REPRO_DP_COLLAPSE=off``.  The representative numbers live in
+the ``dp_collapse`` site of the repo-root ``BENCH_train.json``
+(regenerated with ``repro bench train``); this file is for profiling
+the pass interactively.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel import intra_op
+from repro.perf.microbench import grid_cases
+
+
+@pytest.fixture(scope="module")
+def quick_cases(profile):
+    return grid_cases(profile, "gpt", quick=True)
+
+
+def _solve_cold(cases):
+    intra_op.clear_table_caches()
+    return [intra_op.optimize_stage(c.graph, c.mesh) for c in cases]
+
+
+def test_collapse_on(benchmark, quick_cases, monkeypatch):
+    monkeypatch.delenv("REPRO_DP_COLLAPSE", raising=False)
+    plans = benchmark(_solve_cold, quick_cases)
+    assert all(p.estimated_time > 0 for p in plans)
+    stats = intra_op.collapse_stats()
+    assert stats.hits > 0  # the corpus must actually share structure
+
+
+def test_collapse_off(benchmark, quick_cases, monkeypatch):
+    monkeypatch.setenv("REPRO_DP_COLLAPSE", "off")
+    plans = benchmark(_solve_cold, quick_cases)
+    assert all(p.estimated_time > 0 for p in plans)
+
+
+def test_collapse_differential(quick_cases, monkeypatch):
+    """Gate-on and gate-off cold solves are bit-identical."""
+    monkeypatch.delenv("REPRO_DP_COLLAPSE", raising=False)
+    on = _solve_cold(quick_cases)
+    monkeypatch.setenv("REPRO_DP_COLLAPSE", "off")
+    off = _solve_cold(quick_cases)
+    for a, b in zip(on, off):
+        assert a.estimated_time == b.estimated_time
+        assert [x.strategy.name for x in a.assignments] == \
+            [x.strategy.name for x in b.assignments]

@@ -238,12 +238,26 @@ def cmd_bench(args) -> int:
     if args.target == "train":
         import json
 
+        from .experiments.engine import n_jobs as _n_jobs
         from .perf import run_train_microbench
 
-        result = run_train_microbench(profile, quick=args.quick,
-                                      jobs=args.jobs or None)
         out = Path(args.output or Path(__file__).resolve().parents[2]
                    ) / "BENCH_train.json"
+        run_jobs = args.jobs or _n_jobs()
+        if out.exists() and not args.force:
+            try:
+                prev_jobs = int(json.loads(out.read_text()).get("jobs", 1))
+            except (ValueError, OSError):
+                prev_jobs = 1
+            if prev_jobs > run_jobs:
+                print(f"refusing to overwrite {out}: it records a "
+                      f"jobs={prev_jobs} run and this one is jobs={run_jobs} "
+                      f"(the multi-core numbers would silently regress); "
+                      f"pass --force to overwrite anyway")
+                return 1
+
+        result = run_train_microbench(profile, quick=args.quick,
+                                      jobs=run_jobs)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
         ok = result["differential"]["identical"]
@@ -432,6 +446,9 @@ def make_parser() -> argparse.ArgumentParser:
                    "REPRO_PROFILE or fast)")
     p.add_argument("--output", default="",
                    help="results directory (default: <repo>/results)")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite BENCH_train.json even when the "
+                        "existing file records a higher-jobs run")
     return parser
 
 

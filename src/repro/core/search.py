@@ -105,6 +105,10 @@ class PlanSearcher:
         #: trust-layer knobs (None = read ``REPRO_TRUST_*``; disabled by
         #: default, keeping predictions bit-identical to the unguarded path)
         self.trust = trust or TrustConfig.from_env()
+        #: stable task callable for the engine's persistent pool — a fresh
+        #: lambda per sweep would change the fn identity and force a pool
+        #: restart on every ``_measure_many`` call
+        self._measure_task = lambda pair: self._measure(*pair)
         self._slices = clustering.all_slices()
         self._unit_slices = [
             (i, j) for i in range(clustering.n_units)
@@ -148,7 +152,7 @@ class PlanSearcher:
 
         todo = [p for p in pairs
                 if (p[0], p[1].key()) not in self._measured]
-        results = parallel_map(lambda p: self._measure(*p), todo, self.jobs)
+        results = parallel_map(self._measure_task, todo, self.jobs)
         for (layer_slice, submesh), r in zip(todo, results):
             self._measured[(layer_slice, submesh.key())] = r
         return [self._measured[(ls, sm.key())] for (ls, sm) in pairs]
@@ -184,7 +188,7 @@ class PlanSearcher:
         return slice_stages(self.clustering, self.submeshes, table,
                             self.n_microbatches,
                             total_devices=self.cluster.num_devices,
-                            schedule=spec)
+                            schedule=spec, jobs=self.jobs)
 
     # ------------------------------------------------------------ approaches
     def search_full(self) -> SearchResult:

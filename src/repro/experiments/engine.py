@@ -50,6 +50,7 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from .. import faults
+from . import pool as pool_mod
 from .manifest import append_event
 from .profiles import ExperimentProfile
 from .scenarios import Scenario, scenario_grid
@@ -134,16 +135,44 @@ def parallel_map(
     fewer than two items, or when the platform cannot fork; if creating
     the pool itself fails (fd exhaustion, fork limits), the map degrades
     to the serial loop with a warning instead of raising.  Items and
-    results cross the process boundary by pickling; ``fn`` itself does
-    not — it is inherited through the fork — so closures over live
-    objects (profilers, searchers) are fine.
+    results cross the process boundary by pickling (large numpy results
+    by shared memory); ``fn`` itself does not — it is inherited through
+    the fork — so closures over live objects (profilers, searchers) are
+    fine.
+
+    By default the map runs over the :mod:`~repro.experiments.pool`
+    persistent workers, which survive across calls (caches stay warm,
+    no per-call fork/teardown); the pool restarts itself whenever ``fn``
+    or the ``REPRO_*`` environment changes, so repeated maps over one
+    stable callable are the fast path.  ``REPRO_POOL=off`` restores the
+    legacy one-pool-per-call behavior; both are bit-identical to the
+    serial loop.
     """
-    global _WORKER_FN
     items = list(items)
     jobs = n_jobs() if jobs is None else max(1, jobs)
     jobs = min(jobs, len(items))
     if jobs <= 1 or len(items) < 2:
         return [fn(x) for x in items]
+    if not pool_mod.pool_enabled():
+        return _legacy_parallel_map(fn, items, jobs)
+    try:
+        workers = pool_mod.get_pool(fn, jobs)
+    except ValueError:  # pragma: no cover - non-POSIX, no fork context
+        return [fn(x) for x in items]
+    except (OSError, AttributeError) as exc:
+        warnings.warn(f"process pool unavailable ({exc}); "
+                      f"running {len(items)} items serially", stacklevel=2)
+        return [fn(x) for x in items]
+    return pool_mod.map_ordered(workers, items, jobs)
+
+
+def _legacy_parallel_map(
+    fn: Callable[[T], R],
+    items: list[T],
+    jobs: int,
+) -> list[R]:
+    """The pre-persistent-pool path: one fork pool per call."""
+    global _WORKER_FN
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX
@@ -277,6 +306,179 @@ def _serial_supervised(
     return outcome
 
 
+def _pool_supervised(
+    fn: Callable[[T], Any],
+    items: list[T],
+    outcome: MapOutcome,
+    jobs: int,
+    timeout: float,
+    retries: int,
+    backoff: float,
+    labels: Sequence[str],
+    manifest_root,
+    run_id: str,
+) -> MapOutcome:
+    """:func:`supervised_map` over the persistent worker pool.
+
+    Same retry/timeout/accounting contract as the legacy per-attempt
+    fork loop, but attempts lease long-lived workers instead of paying a
+    fork each: a worker that crashes (pipe EOF) or blows its deadline
+    (killed) is replaced and the attempt is resubmitted with backoff;
+    fault sites fire inside the worker per (index, attempt), so chaos
+    plans reproduce exactly as before.  If the pool cannot be (re)built
+    the remaining cells finish serially (``mode="degraded"``).
+    """
+    n = len(items)
+
+    def _unhealthy(exc) -> None:
+        warnings.warn(f"worker pool unhealthy ({exc}); degrading to "
+                      f"the serial path for the remaining cells",
+                      stacklevel=3)
+
+    try:
+        workers = pool_mod.get_pool(fn, jobs)
+    except ValueError:  # pragma: no cover - non-POSIX, no fork context
+        outcome.mode = "serial"
+        return _serial_supervised(fn, items, outcome, list(range(n)),
+                                  retries, backoff, labels, manifest_root,
+                                  run_id)
+    except (OSError, AttributeError) as exc:
+        _unhealthy(exc)
+        outcome.mode = "degraded"
+        return _serial_supervised(fn, items, outcome, list(range(n)),
+                                  retries, backoff, labels, manifest_root,
+                                  run_id)
+
+    pending: list[tuple[int, int]] = [(i, 0) for i in range(n)]
+    eligible_at: dict[int, float] = {}
+    #: task id -> (index, attempt, deadline, worker)
+    inflight: dict[int, tuple[int, int, float, Any]] = {}
+    spawn_failures = 0
+    degraded = False
+
+    def _finish_attempt(index: int, attempt: int, failure_class: str,
+                        detail: str) -> None:
+        if attempt < retries:
+            eligible_at[index] = time.monotonic() + backoff * (2 ** attempt)
+            pending.append((index, attempt + 1))
+            append_event(manifest_root, "cell_retry", run=run_id,
+                         index=index, label=labels[index], attempt=attempt,
+                         **{"class": failure_class}, detail=detail)
+        else:
+            outcome.failures.append(CellFailure(
+                index, labels[index], attempt + 1, failure_class, detail))
+            append_event(manifest_root, "cell_failed", run=run_id,
+                         index=index, label=labels[index],
+                         attempts=attempt + 1, **{"class": failure_class},
+                         detail=detail)
+
+    def _heal() -> None:
+        """Bring the pool back to strength, tracking consecutive spawn
+        failures; past the limit the run degrades to serial."""
+        nonlocal spawn_failures, degraded
+        try:
+            workers.ensure_size()
+        except OSError as exc:
+            spawn_failures += 1
+            if spawn_failures >= _MAX_SPAWN_FAILURES:
+                _unhealthy(exc)
+                degraded = True
+            else:
+                time.sleep(0.05 * spawn_failures)
+        else:
+            spawn_failures = 0
+
+    try:
+        while pending or inflight:
+            now = time.monotonic()
+            launchable = [pa for pa in pending
+                          if eligible_at.get(pa[0], 0.0) <= now]
+            for index, attempt in launchable:
+                if len(inflight) >= jobs or degraded:
+                    break
+                worker = workers.idle_worker()
+                if worker is None:
+                    _heal()
+                    worker = workers.idle_worker()
+                    if worker is None:
+                        break
+                try:
+                    tid = workers.submit(worker, index, attempt,
+                                         items[index], fire_faults=True)
+                except BrokenPipeError:
+                    _heal()
+                    continue
+                pending.remove((index, attempt))
+                outcome.attempts += 1
+                append_event(manifest_root, "cell_attempt", run=run_id,
+                             index=index, label=labels[index],
+                             attempt=attempt, worker=worker.proc.pid)
+                deadline = now + timeout if timeout > 0 else float("inf")
+                inflight[tid] = (index, attempt, deadline, worker)
+            if degraded:
+                break
+            if not inflight:
+                if not pending:
+                    break
+                # every pending attempt is in its backoff window
+                next_at = min(eligible_at.get(i, 0.0) for i, _ in pending)
+                time.sleep(max(0.0, min(next_at - time.monotonic(), 0.5)))
+                continue
+
+            # wait for results, worker deaths (pipe EOF), or a deadline
+            next_deadline = min(d for _, _, d, _ in inflight.values())
+            wait_for = min(max(0.0, next_deadline - time.monotonic()), 0.5)
+            for ev in workers.wait(wait_for):
+                if ev.kind == "crash":
+                    _heal()
+                    lease = (inflight.pop(ev.task_id, None)
+                             if ev.task_id is not None else None)
+                    if lease is not None:
+                        index, attempt, _, _ = lease
+                        _finish_attempt(index, attempt, "crash",
+                                        f"worker died with exit code "
+                                        f"{ev.exitcode}")
+                    continue
+                lease = inflight.pop(ev.task_id, None)
+                if lease is None:  # pragma: no cover - stale result
+                    continue
+                index, attempt, _, _ = lease
+                if ev.status == "ok":
+                    outcome.results[index] = ev.payload
+                    append_event(manifest_root, "cell_done", run=run_id,
+                                 index=index, label=labels[index],
+                                 attempt=attempt)
+                else:
+                    payload = ev.payload
+                    detail = (f"{type(payload).__name__}: {payload}"
+                              if isinstance(payload, BaseException)
+                              else str(payload))
+                    _finish_attempt(index, attempt, "exception", detail)
+            # enforce deadlines on whatever is still leased
+            now = time.monotonic()
+            for tid, (index, attempt, deadline,
+                      worker) in list(inflight.items()):
+                if deadline <= now:
+                    del inflight[tid]
+                    workers.kill(worker)
+                    _heal()
+                    _finish_attempt(
+                        index, attempt, "timeout",
+                        f"cell exceeded {timeout:.1f}s; worker killed")
+    except BaseException:  # pragma: no cover - abnormal exit
+        workers.abandon_inflight()
+        raise
+
+    if degraded:
+        outcome.mode = "degraded"
+        todo = sorted({index for index, _ in pending}
+                      | {lease[0] for lease in inflight.values()})
+        workers.abandon_inflight()
+        return _serial_supervised(fn, items, outcome, todo, retries,
+                                  backoff, labels, manifest_root, run_id)
+    return outcome
+
+
 def supervised_map(
     fn: Callable[[T], Any],
     items: Iterable[T],
@@ -322,6 +524,9 @@ def supervised_map(
         return _serial_supervised(fn, items, outcome, list(range(n)),
                                   retries, backoff, labels, manifest_root,
                                   run_id)
+    if pool_mod.pool_enabled():
+        return _pool_supervised(fn, items, outcome, jobs, timeout, retries,
+                                backoff, labels, manifest_root, run_id)
 
     prev = _WORKER_FN
     _WORKER_FN = fn

@@ -25,6 +25,13 @@ from .reachability import (
     undirected_adjacency,
 )
 from .serialize import graph_from_dict, graph_to_dict
+from .structure import (
+    RepeatedBlock,
+    communication_free_groups,
+    context_signatures,
+    propagation_free_chains,
+    repeated_blocks,
+)
 
 __all__ = [
     "ALL_DTYPES", "DType", "dtype", "dtype_index", "promote",
@@ -38,4 +45,6 @@ __all__ = [
     "FEATURE_DIM", "MAX_RANK", "graph_features", "node_features",
     "OP_TYPES", "OpDef", "op_def", "op_index", "node_flops", "node_bytes",
     "graph_from_dict", "graph_to_dict",
+    "RepeatedBlock", "context_signatures", "communication_free_groups",
+    "propagation_free_chains", "repeated_blocks",
 ]

@@ -39,6 +39,7 @@ Two implementations coexist:
 
 from __future__ import annotations
 
+import os
 import weakref
 from dataclasses import dataclass
 
@@ -46,6 +47,7 @@ import numpy as np
 
 from ..cluster.mesh import LogicalMesh
 from ..ir.graph import Graph, TensorSpec
+from ..ir.structure import clear_signature_intern, context_signatures
 from ..runtime.opcost import node_cost_key, op_time, op_time_cached
 from .resharding import reshard_cache, reshard_time
 from .sharding import (REPLICATED, ShardingSpec, candidate_specs, spec_by_id,
@@ -157,10 +159,85 @@ def _mesh_tables(mesh: LogicalMesh) -> dict[tuple, _NodeTable]:
     return tabs
 
 
+@dataclass
+class CollapseStats:
+    """Hit/miss counters for the CFP collapse memo (process-wide)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+_COLLAPSE_STATS = CollapseStats()
+
+#: mesh -> {context signature -> (forward costs, grouped-by-out-spec costs)}
+#: — the CFP collapse memo.  A signature (``ir.structure``) pins every
+#: input of a node's forward sweep (its strategy table, reshard matrices,
+#: amortization shares, and — inductively — its producers' vectors), so
+#: memo entries are bit-identical to a fresh computation on any graph.
+_COLLAPSE_MEMO: dict[LogicalMesh, dict[int, tuple[np.ndarray, np.ndarray]]] \
+    = {}
+
+#: mesh -> {context signature -> _NodeTable} — the collapse path's table
+#: index.  A signature pins ``node_cost_key`` (see ``ir.structure``), so
+#: it determines the strategy table; indexing by signature lets a hit
+#: node skip the cost-key build and slot-op assembly entirely at prepare
+#: time, which is where the cold-solve time actually goes.
+_SIG_TABLES: dict[LogicalMesh, dict[int, _NodeTable]] = {}
+
+#: graph -> (n, per-node context signatures); signatures are
+#: mesh-independent, so one entry serves every logical view
+_GRAPH_SIGS: "weakref.WeakKeyDictionary[Graph, tuple[int, list[int]]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def collapse_stats() -> CollapseStats:
+    return _COLLAPSE_STATS
+
+
+def _collapse_enabled() -> bool:
+    return os.environ.get("REPRO_DP_COLLAPSE", "").lower() != "off"
+
+
+def _collapse_memo(mesh: LogicalMesh) -> dict:
+    memo = _COLLAPSE_MEMO.get(mesh)
+    if memo is None:
+        memo = _COLLAPSE_MEMO.setdefault(mesh, {})
+    return memo
+
+
+def _sig_tables(mesh: LogicalMesh) -> dict:
+    tabs = _SIG_TABLES.get(mesh)
+    if tabs is None:
+        tabs = _SIG_TABLES.setdefault(mesh, {})
+    return tabs
+
+
+def _graph_sigs(graph: Graph) -> list[int]:
+    entry = _GRAPH_SIGS.get(graph)
+    if entry is None or entry[0] != len(graph):  # graphs are append-only
+        entry = (len(graph), context_signatures(graph))
+        _GRAPH_SIGS[graph] = entry
+    return entry[1]
+
+
 def clear_table_caches() -> None:
     """Drop the node-table and solve-plan caches (tests and benchmarks)."""
     _MESH_TABLES.clear()
     _SOLVE_PLANS.clear()
+    _COLLAPSE_MEMO.clear()
+    _SIG_TABLES.clear()
+    _GRAPH_SIGS.clear()
+    clear_signature_intern()
+    _COLLAPSE_STATS.reset()
 
 
 def _build_table(graph: Graph, node, mesh: LogicalMesh) -> _NodeTable:
@@ -223,38 +300,96 @@ _SOLVE_PLANS: "weakref.WeakKeyDictionary[Graph, dict]" = \
     weakref.WeakKeyDictionary()
 
 
+class _PlanTables:
+    """Index a plan's forward entries as a node-id -> table mapping."""
+
+    __slots__ = ("fwd",)
+
+    def __init__(self, fwd: list) -> None:
+        self.fwd = fwd
+
+    def __getitem__(self, nid: int) -> _NodeTable:
+        return self.fwd[nid][0]
+
+
+def _slot_ops_for(graph: Graph, node, table: _NodeTable, node_tab,
+                  rcache) -> tuple:
+    """The per-edge forward contractions of one node: (producer id,
+    amortization share, reshard matrix, required-spec mapping).  Shared
+    by both prepare paths and the lazy completion in ``optimize_stage``
+    so the three produce identical tuples."""
+    slot_ops = []
+    for slot, (cols, req_of, has) in enumerate(table.slots):
+        pid = node.inputs[slot]
+        pnode = graph.nodes[pid]
+        if pnode.node_type in ("input", "literal"):
+            continue  # leaf edges reshard for free: exact 0.0 charge
+        share = 1.0 / max(1, len(graph.consumers(pid)))
+        R = rcache.matrix(node_tab[pid].out_ids, cols, pnode.out.nbytes)
+        slot_ops.append((pid, share, R, req_of, has))
+    return tuple(slot_ops)
+
+
 def _prepare(graph: Graph, mesh: LogicalMesh) -> _SolvePlan:
     n = len(graph)
     rcache = reshard_cache(mesh)
-    tables = _mesh_tables(mesh)
     node_tab: list[_NodeTable] = [None] * n  # type: ignore
 
-    fwd = []
-    for node in graph.nodes:
-        if node.node_type == "output":
-            key = ("out", node_tab[node.inputs[0]].out_ids)
-        elif node.node_type == "operator":
-            key = ("op", node_cost_key(
-                node, [graph.nodes[i].out for i in node.inputs]))
-        else:
-            key = ("leaf", node.out.shape)
-        table = tables.get(key)
-        if table is None:
-            table = (_output_table(key[1]) if node.node_type == "output"
-                     else _build_table(graph, node, mesh))
-            tables[key] = table
-        node_tab[node.id] = table
-
-        slot_ops = []
-        for slot, (cols, req_of, has) in enumerate(table.slots):
-            pid = node.inputs[slot]
-            pnode = graph.nodes[pid]
-            if pnode.node_type in ("input", "literal"):
-                continue  # leaf edges reshard for free: exact 0.0 charge
-            share = 1.0 / max(1, len(graph.consumers(pid)))
-            R = rcache.matrix(node_tab[pid].out_ids, cols, pnode.out.nbytes)
-            slot_ops.append((pid, share, R, req_of, has))
-        fwd.append((table, tuple(slot_ops)))
+    fwd: list = []
+    if _collapse_enabled():
+        # CFP collapse path: tables indexed by context signature.  Equal
+        # signatures imply equal ``node_cost_key`` (ir.structure), which
+        # determines the strategy table — so a previously seen signature
+        # skips the cost-key build, the table construction AND the
+        # slot-op assembly; its forward vector comes from the memo at
+        # solve time (``slot_ops is None`` marks that expectation, with
+        # a lazy rebuild in ``optimize_stage`` as the fallback).
+        sigs = _graph_sigs(graph)
+        sig_tables = _sig_tables(mesh)
+        tables = _mesh_tables(mesh)
+        for node in graph.nodes:
+            table = sig_tables.get(sigs[node.id])
+            if table is not None:
+                node_tab[node.id] = table
+                fwd.append((table, None))
+                continue
+            # sig miss: go through the coarser structure-keyed cache so
+            # tables stay shared across contexts (a fresh context over a
+            # known structure must not rebuild the strategy enumeration)
+            if node.node_type == "output":
+                key = ("out", node_tab[node.inputs[0]].out_ids)
+            elif node.node_type == "operator":
+                key = ("op", node_cost_key(
+                    node, [graph.nodes[i].out for i in node.inputs]))
+            else:
+                key = ("leaf", node.out.shape)
+            table = tables.get(key)
+            if table is None:
+                table = (_output_table(key[1]) if node.node_type == "output"
+                         else _build_table(graph, node, mesh))
+                tables[key] = table
+            sig_tables[sigs[node.id]] = table
+            node_tab[node.id] = table
+            fwd.append((table, _slot_ops_for(graph, node, table, node_tab,
+                                             rcache)))
+    else:
+        tables = _mesh_tables(mesh)
+        for node in graph.nodes:
+            if node.node_type == "output":
+                key = ("out", node_tab[node.inputs[0]].out_ids)
+            elif node.node_type == "operator":
+                key = ("op", node_cost_key(
+                    node, [graph.nodes[i].out for i in node.inputs]))
+            else:
+                key = ("leaf", node.out.shape)
+            table = tables.get(key)
+            if table is None:
+                table = (_output_table(key[1]) if node.node_type == "output"
+                         else _build_table(graph, node, mesh))
+                tables[key] = table
+            node_tab[node.id] = table
+            fwd.append((table, _slot_ops_for(graph, node, table, node_tab,
+                                             rcache)))
 
     rev = []
     for node in reversed(graph.nodes):
@@ -292,6 +427,15 @@ def optimize_stage(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
     Every parent table carries at least one entry (the enumeration ends in
     an explicit replicated fallback), so the reference implementation's
     per-strategy feasibility bookkeeping is vacuous and elided here.
+
+    With the CFP collapse memo on (default; ``REPRO_DP_COLLAPSE=off``
+    disables), nodes whose context signature was already solved on this
+    mesh — twin branches in this graph, or shared prefixes of previously
+    solved graphs — reuse their forward vectors instead of recomputing
+    them.  Lossless by construction: a signature pins the strategy table,
+    reshard matrices, amortization shares and producer vectors, so the
+    memoized arrays are the ones this sweep would produce bit-for-bit
+    (``tests/test_dp_collapse.py`` enforces it differentially).
     """
     plan = _solve_plan(graph, mesh)
     rcache = reshard_cache(mesh)
@@ -300,7 +444,26 @@ def optimize_stage(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
     #: min forward cost per distinct out spec (the by-spec table)
     group_cost: list[np.ndarray] = [None] * n  # type: ignore
 
+    collapse = _collapse_enabled()
+    if collapse:
+        memo = _collapse_memo(mesh)
+        sigs = _graph_sigs(graph)
+        stats = _COLLAPSE_STATS
+
     for nid, (table, slot_ops) in enumerate(plan.fwd):
+        if collapse:
+            hit = memo.get(sigs[nid])
+            if hit is not None:
+                cost_tab[nid], group_cost[nid] = hit
+                stats.hits += 1
+                continue
+        if slot_ops is None:
+            # prepared as a collapse hit but solved without one (the gate
+            # flipped, or the memo was never filled): complete the entry
+            slot_ops = _slot_ops_for(
+                graph, graph.nodes[nid], table, _PlanTables(plan.fwd),
+                rcache)
+            plan.fwd[nid] = (table, slot_ops)
         costs = table.base
         for pid, share, R, req_of, has in slot_ops:
             best = (share * group_cost[pid][:, None] + R).min(axis=0)
@@ -318,6 +481,11 @@ def optimize_stage(graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
             gc = np.full(len(table.out_ids), np.inf)
             np.minimum.at(gc, table.out_col, costs)
             group_cost[nid] = gc
+        if collapse:
+            costs.flags.writeable = False
+            group_cost[nid].flags.writeable = False
+            memo[sigs[nid]] = (costs, group_cost[nid])
+            stats.misses += 1
 
     # ---- reverse resolution ------------------------------------------------
     assignments: list[NodeAssignment | None] = [None] * n

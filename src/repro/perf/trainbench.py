@@ -20,6 +20,9 @@ ensemble + per-member inference with a per-graph OOD loop):
   ``ood_score`` loop;
 * ``ensemble_fit`` — K member fits fanned across the engine's worker
   pool vs the serial loop (1× by construction on a single core);
+* ``dp_collapse``  — cold intra-op DP solves over the corpus (plan
+  cache off) with the CFP collapse memo on vs ``REPRO_DP_COLLAPSE=off``,
+  always at jobs=1 — the collapse-alone speedup the ISSUE gates on;
 * ``end_to_end``   — the full per-cell pipeline (K-member ensemble fit +
   guarded batched prediction over the corpus);
 * ``search``       — ``PlanSearcher.search_predtop`` wall time with the
@@ -33,6 +36,7 @@ predictions must be **bit-identical** between the fast and seed modes
 
 from __future__ import annotations
 
+import gc
 import os
 import statistics
 import time
@@ -54,7 +58,7 @@ from ..predictors.trainer import TrainConfig
 from ..predictors.trust import EnsemblePredictor, TrustConfig
 from ..runtime.profiler import StageProfiler
 
-SCHEMA = "predtop.bench_train/v1"
+SCHEMA = "predtop.bench_train/v2"
 
 #: deep-ensemble size of the composite sites (the trust layer's default K)
 ENSEMBLE_SIZE = 3
@@ -134,10 +138,12 @@ def _median(fn, repeats: int) -> tuple[float, object]:
     return statistics.median(ts), out
 
 
-def _site(fast_s: float, seed_s: float, **extra) -> dict:
+def _site(fast_s: float, seed_s: float, *, jobs: int = 1, **extra) -> dict:
+    """Site record; ``jobs`` is the worker count the fast side ran with
+    (1 for the sites that are serial by construction)."""
     return {"fast_ms": fast_s * 1e3, "seed_ms": seed_s * 1e3,
             "speedup": seed_s / fast_s if fast_s > 0 else float("inf"),
-            **extra}
+            "jobs": jobs, **extra}
 
 
 def _state_equal(a: dict, b: dict) -> bool:
@@ -233,6 +239,57 @@ def run_train_microbench(profile: ExperimentProfile | None = None,
     identical &= masks_identical
     sites["masks"] = _site(t_fast, t_seed, identical=masks_identical)
 
+    # ---------------------------------------------- site: CFP DP collapse
+    # cold intra-op solves of the whole corpus on both logical views of
+    # the 2-GPU mesh, all caches cleared before every pass so each solve
+    # actually runs; "fast" = collapse memo on (default), "seed" =
+    # ``REPRO_DP_COLLAPSE=off``.  Both sides are jobs=1 by construction —
+    # this site isolates the collapse pass from worker-pool scale-out.
+    # GC is paused around the A/B: the memo's long-lived small arrays
+    # otherwise trigger collection pauses that dominate the ~50ms passes.
+    from ..cluster.mesh import logical_views
+    from ..parallel import intra_op
+
+    views = logical_views(PLATFORM2.mesh(2))
+
+    def solve_corpus():
+        intra_op.clear_table_caches()
+        out = []
+        for g in graphs:
+            for v in views:
+                p = intra_op.optimize_stage(g, v)
+                out.append((p.estimated_time,
+                            tuple(a.strategy.name for a in p.assignments)))
+        return out
+
+    prev_gate = os.environ.pop("REPRO_DP_COLLAPSE", None)
+    gc_was = gc.isenabled()
+    gc.disable()
+    try:
+        t_fast, plans_f = _median(solve_corpus, max(3, repeats))
+        # snapshot now: the seed passes clear the (live) stats object
+        cstats = intra_op.collapse_stats()
+        memo_hits, memo_misses = cstats.hits, cstats.misses
+        hit_rate = memo_hits / max(1, memo_hits + memo_misses)
+        os.environ["REPRO_DP_COLLAPSE"] = "off"
+        t_seed, plans_s = _median(solve_corpus, max(3, repeats))
+    finally:
+        if prev_gate is None:
+            os.environ.pop("REPRO_DP_COLLAPSE", None)
+        else:
+            os.environ["REPRO_DP_COLLAPSE"] = prev_gate
+        if gc_was:
+            gc.enable()
+        intra_op.clear_table_caches()
+    collapse_identical = plans_f == plans_s
+    identical &= collapse_identical
+    sites["dp_collapse"] = _site(t_fast, t_seed,
+                                 identical=collapse_identical,
+                                 n_solves=len(plans_f),
+                                 hit_rate=hit_rate,
+                                 memo_hits=memo_hits,
+                                 memo_misses=memo_misses)
+
     # ------------------------------------------------ composite: ensemble
     def ensemble_fit(fit_jobs: int | None):
         samples = fresh_samples()
@@ -285,20 +342,22 @@ def run_train_microbench(profile: ExperimentProfile | None = None,
     # ----------------------------------------------- headline: plan search
     trust = TrustConfig(enabled=True, ensemble_size=ENSEMBLE_SIZE)
 
-    def search_once():
+    def search_once(search_jobs: int):
         searcher = PlanSearcher(model, clustering, PLATFORM2.mesh(2),
                                 n_microbatches=profile.n_microbatches,
                                 profiler=profiler, sample_fraction=0.5,
-                                train_config=cfg, seed=0, trust=trust)
+                                train_config=cfg, seed=0, trust=trust,
+                                jobs=search_jobs)
         return searcher.search_predtop()
 
-    search_once()  # warm the profiler/plan caches on both sides
-    t_fast, r_fast = _median(search_once, 1)
+    search_once(jobs)  # warm the profiler/plan caches on both sides
+    t_fast, r_fast = _median(lambda: search_once(jobs), 1)
     with seed_mode():
         orig = EnsemblePredictor.predict_many
         EnsemblePredictor.predict_many = seed_predict_many
         try:
-            t_seed, r_seed = _median(search_once, 1)
+            # the seed side is the pre-pool baseline: one core, serial
+            t_seed, r_seed = _median(lambda: search_once(1), 1)
         finally:
             EnsemblePredictor.predict_many = orig
 
@@ -309,7 +368,8 @@ def run_train_microbench(profile: ExperimentProfile | None = None,
 
     search_identical = plan_sig(r_fast) == plan_sig(r_seed)
     identical &= search_identical
-    sites["search"] = _site(t_fast, t_seed, identical=search_identical,
+    sites["search"] = _site(t_fast, t_seed, jobs=jobs,
+                            identical=search_identical,
                             n_table_entries=r_fast.n_table_entries,
                             trusted=r_fast.trust.trusted,
                             suspect=r_fast.trust.suspect)
@@ -333,5 +393,6 @@ def run_train_microbench(profile: ExperimentProfile | None = None,
             "headline_search_speedup": sites["search"]["speedup"],
             "pipeline_speedup": sites["end_to_end"]["speedup"],
             "training_speedup": sites["training"]["speedup"],
+            "dp_collapse_speedup": sites["dp_collapse"]["speedup"],
         },
     }

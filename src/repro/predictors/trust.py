@@ -234,9 +234,12 @@ class EnsemblePredictor:
         Members are seeded independently and trained in isolation, so
         the fan-out is bit-identical to the serial loop; ``jobs``
         defaults to the engine's ``REPRO_JOBS`` resolution (serial for
-        one member, inside a worker, or when ``REPRO_JOBS=1``).
+        one member, inside a worker, or when ``REPRO_JOBS=1``).  The
+        serial path runs fully in-process and keeps the live fitted
+        members — no pool, no state-dict round-trip — so a 1-core
+        ensemble fit costs exactly K single-predictor fits.
         """
-        from ..experiments.engine import parallel_map
+        from ..experiments.engine import n_jobs, parallel_map
 
         cfg = cfg or TrainConfig(seed=self.seed)
         self.feature_stats = FeatureStats.fit(
@@ -246,6 +249,9 @@ class EnsemblePredictor:
         for s in list(train) + list(val):
             s.encode()
             s.sparse_adj()
+
+        eff_jobs = n_jobs() if jobs is None else max(1, jobs)
+        serial = min(eff_jobs, self.size) <= 1
 
         def _fit_member(i: int):
             member = LatencyPredictor(self.kind, seed=self.seed + i)
@@ -269,23 +275,33 @@ class EnsemblePredictor:
                                    fault_attempt=1)
                 retry.wall_seconds += result.wall_seconds
                 result = retry
+            if result.diverged:
+                return None, result, retrained
+            if serial:
+                # in-process: the live member is the product, as-is
+                member.train_result = result
+                return member, result, retrained
             # workers return plain picklable state (Tensor closures are
             # not); the parent reconstructs the member deterministically
-            state = None
-            if not result.diverged:
-                state = (member.seed, member.model.state_dict(),
-                         member.normalizer)
+            state = (member.seed, member.model.state_dict(),
+                     member.normalizer)
             return state, result, retrained
 
-        fitted = parallel_map(_fit_member, list(range(self.size)), jobs)
+        if serial:
+            fitted = [_fit_member(i) for i in range(self.size)]
+        else:
+            fitted = parallel_map(_fit_member, list(range(self.size)),
+                                  eff_jobs)
         out = EnsembleFitResult()
         self.members = []
-        for state, result, retrained in fitted:
+        for payload, result, retrained in fitted:
             out.retrained += retrained
-            if state is None:
+            if payload is None:
                 out.dropped += 1
+            elif isinstance(payload, LatencyPredictor):
+                self.members.append(payload)
             else:
-                seed, weights, normalizer = state
+                seed, weights, normalizer = payload
                 member = LatencyPredictor(self.kind, seed=seed)
                 member.normalizer = normalizer
                 member.model = build_model(self.kind, seed=seed)
