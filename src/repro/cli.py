@@ -11,7 +11,21 @@ Commands:
   fault-tolerant experiment engine (``--jobs`` / ``REPRO_JOBS`` workers,
   ``--timeout`` / ``--retries`` supervision knobs); ``bench report``
   summarizes the run-manifest journal (attempts, retries, failures,
-  quarantines) of previous runs.
+  quarantines, breaker transitions) of previous runs; ``bench serve``
+  load-tests the serving daemon and writes ``BENCH_serve.json``;
+* ``serve``    — the resilient serving daemon: load/fit a predictor once
+  and answer JSON-lines requests (predict / predict_many / whatif /
+  search / health) with deadlines, backpressure, and circuit-breaker
+  degradation to the analytical estimator.
+
+Exit codes are uniform across commands (:data:`EXIT_OK` …):
+
+* ``0`` — completed fully;
+* ``1`` — bad invocation, differential mismatch, or hard failure;
+* ``2`` — partial results (failed grid cells after retries, or a serve
+  bench with unanswered/unserved requests);
+* ``3`` — degraded-only service (every answer came from the analytical
+  fallback; the learned model path never served).
 """
 
 from __future__ import annotations
@@ -25,6 +39,11 @@ from .models.configs import BENCHMARKS, benchmark_config
 from .models.model import build_model
 from .predictors.trainer import TrainConfig
 from .runtime.schedules import schedule_names
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_PARTIAL = 2
+EXIT_DEGRADED = 3
 
 
 def _add_model_args(p: argparse.ArgumentParser) -> None:
@@ -75,7 +94,18 @@ def cmd_info(args) -> int:
     for name in schedule_names():
         doc = (get_schedule(name).__class__.__doc__ or "").strip()
         print(f"  {name}: {doc.splitlines()[0] if doc else ''}")
-    return 0
+    from .faults import SITE_SUMMARIES
+    from .serving.protocol import OP_SUMMARIES
+
+    print("\nserving endpoints (repro serve, JSON-lines over TCP):")
+    for op, doc in OP_SUMMARIES.items():
+        print(f"  {op}: {doc}")
+    print("\nfault-injection sites (REPRO_FAULTS):")
+    for site, doc in SITE_SUMMARIES.items():
+        print(f"  {site}: {doc}")
+    print("\nexit codes: 0 = ok, 1 = error/mismatch, 2 = partial results, "
+          "3 = degraded-only service")
+    return EXIT_OK
 
 
 def cmd_profile(args) -> int:
@@ -190,6 +220,43 @@ def cmd_search(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import dataclasses
+
+    from .experiments.cache import global_cache
+    from .predictors.trust import TrustConfig
+    from .serving import (PredictorRuntime, ReproServer, RuntimeConfig,
+                          ServerConfig)
+
+    trust = dataclasses.replace(TrustConfig.from_env(), enabled=True,
+                                ensemble_size=max(1, args.ensemble))
+    cfg = RuntimeConfig(
+        family=args.family, layers=args.layers, platform=args.platform,
+        mesh=args.mesh, units=args.units, seed=args.seed,
+        predictor=args.predictor, sample_fraction=args.sample_fraction,
+        epochs=args.epochs, checkpoints=tuple(args.checkpoint),
+        trust=trust, schedule=args.schedule)
+    source = (f"checkpoints {', '.join(cfg.checkpoints)}"
+              if cfg.checkpoints else
+              f"startup fit ({cfg.epochs} epochs, K={trust.ensemble_size})")
+    print(f"loading predictor runtime: {cfg.family}/{cfg.layers} layers on "
+          f"{cfg.platform} mesh{cfg.mesh}, {source} ...")
+    runtime = PredictorRuntime.build(cfg)
+    server = ReproServer(
+        runtime,
+        ServerConfig(host=args.host, port=args.port, workers=args.workers,
+                     max_queue=args.max_queue,
+                     default_deadline_ms=args.deadline_ms,
+                     reload_poll_s=args.reload_poll),
+        journal_root=global_cache().root)
+    server.start()
+    host, port = server.address
+    print(f"serving on {host}:{port} "
+          f"({'model+analytical' if runtime.ensemble else 'ANALYTICAL ONLY'}"
+          f"); SIGTERM/SIGINT drains gracefully")
+    return server.serve_forever()
+
+
 def cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -207,14 +274,44 @@ def cmd_bench(args) -> int:
         cache = global_cache()
         if cache.root is None:
             print("manifest: cache disabled (REPRO_CACHE=off), no journal")
-            return 1
+            return EXIT_ERROR
         print(summarize(read_events(cache.root)))
         quarantined = cache.quarantined()
         if quarantined:
             print("quarantined shards:")
             for path in quarantined:
                 print(f"  {path}")
-        return 0
+        return EXIT_OK
+
+    if args.target == "serve":
+        import json
+
+        from .perf import run_serve_bench
+
+        address = (args.host, args.port) if args.port else None
+        result = run_serve_bench(quick=args.quick, address=address,
+                                 clients=args.clients or None,
+                                 requests_per_client=args.requests or None)
+        out = Path(args.output or Path(__file__).resolve().parents[2]
+                   ) / "BENCH_serve.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        t = result["totals"]
+        print(f"serve bench: {result['answered']}/{result['requests_sent']} "
+              f"answered at {result['throughput_rps']:.1f} rps "
+              f"(ok {t['ok']}, model-served {t['ok_model']}, degraded "
+              f"{t['degraded']}, shed-final {t['shed_final']}, unanswered "
+              f"{t['unanswered']}; chaos: {t['conn_drops']} conn drops, "
+              f"{t['slow_loris']} slow-loris, {t['garbage_sent']} garbage) "
+              f"[saved to {out}]")
+        for tr in result["breaker_transitions"]:
+            print(f"  breaker {tr['route']}: {tr['from']} -> {tr['to']} "
+                  f"({tr['reason']})")
+        if not result["zero_unanswered"] or t["ok"] == 0:
+            return EXIT_PARTIAL
+        if t["ok_model"] == 0 and t["degraded"] > 0:
+            return EXIT_DEGRADED
+        return EXIT_OK
 
     profile = PROFILES[args.profile] if args.profile else active_profile()
 
@@ -233,7 +330,7 @@ def cmd_bench(args) -> int:
               f"speedup {result['overall']['speedup']:.1f}x, "
               f"differential {'identical' if ok else 'MISMATCH'} "
               f"[saved to {out}]")
-        return 0 if ok else 1
+        return EXIT_OK if ok else EXIT_ERROR
 
     if args.target == "train":
         import json
@@ -254,7 +351,7 @@ def cmd_bench(args) -> int:
                       f"jobs={prev_jobs} run and this one is jobs={run_jobs} "
                       f"(the multi-core numbers would silently regress); "
                       f"pass --force to overwrite anyway")
-                return 1
+                return EXIT_ERROR
 
         result = run_train_microbench(profile, quick=args.quick,
                                       jobs=run_jobs)
@@ -269,7 +366,7 @@ def cmd_bench(args) -> int:
               f"{result['overall']['headline_search_speedup']:.2f}x, "
               f"differential {'identical' if ok else 'MISMATCH'} "
               f"[saved to {out}]")
-        return 0 if ok else 1
+        return EXIT_OK if ok else EXIT_ERROR
 
     jobs = args.jobs if args.jobs else n_jobs()
     if args.family == "both":
@@ -309,7 +406,7 @@ def cmd_bench(args) -> int:
             print(f"!! {len(report.failures)}/{report.n_cells} schedule "
                   f"cells failed after retries ({report.attempts} attempts, "
                   f"mode={report.mode}); see `repro bench report`")
-        return 2 if report.failures else 0
+        return EXIT_PARTIAL if report.failures else EXIT_OK
 
     tables = {"table5": "platform1", "table6": "platform2"}
     targets = tables if args.target == "tables" else {args.target: tables.get(args.target)}
@@ -350,7 +447,7 @@ def cmd_bench(args) -> int:
             (out_dir / f"{stem}.txt").write_text(text + "\n")
             print(f"{text}\n[{stem}: profile={profile.name} "
                   f"jobs={jobs}, saved under {out_dir}]\n")
-    return 2 if failed_cells else 0
+    return EXIT_PARTIAL if failed_cells else EXIT_OK
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -408,22 +505,63 @@ def make_parser() -> argparse.ArgumentParser:
                    help="pipeline schedule for the DP objective and plan "
                         "scoring (closed form + event simulation)")
 
+    p = sub.add_parser("serve", help="resilient serving daemon (JSON lines "
+                                     "over TCP)")
+    _add_model_args(p)
+    p.add_argument("--mesh", type=int, default=2, choices=sorted(MESH_CONFIGS))
+    p.add_argument("--predictor", default="dag_transformer",
+                   choices=("dag_transformer", "gcn", "gat"))
+    p.add_argument("--checkpoint", action="append", default=[],
+                   help="saved predictor (.npz) to serve; repeat for an "
+                        "ensemble (default: fit at startup)")
+    p.add_argument("--ensemble", type=int, default=1,
+                   help="members to fit at startup when no --checkpoint")
+    p.add_argument("--sample-fraction", type=float, default=0.5)
+    p.add_argument("--epochs", type=int, default=8,
+                   help="startup-fit epochs (ignored with --checkpoint)")
+    p.add_argument("--schedule", default="1f1b", choices=schedule_names())
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7713,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor threads for whatif/search")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="bounded executor queue (admission control)")
+    p.add_argument("--deadline-ms", type=float, default=30_000.0,
+                   help="default per-request deadline")
+    p.add_argument("--reload-poll", type=float, default=0.0,
+                   help="poll --checkpoint files every N seconds and "
+                        "hot-reload in place (0 = off)")
+
     p = sub.add_parser(
         "bench", help="regenerate experiment grids via the fault-tolerant "
                       "engine")
     p.add_argument("target",
                    choices=("table5", "table6", "tables", "usecase",
-                            "schedules", "micro", "train", "report"),
+                            "schedules", "micro", "train", "serve",
+                            "report"),
                    help="which artifact to (re)compute (schedules: the "
                         "validated simulator-vs-closed-form grid -> "
                         "schedule_grid_<family>.csv; micro: the intra-op "
                         "DP micro-benchmark -> BENCH_intraop.json; train: "
                         "the predictor-pipeline benchmark -> "
-                        "BENCH_train.json; report: summarize the "
+                        "BENCH_train.json; serve: the daemon load test -> "
+                        "BENCH_serve.json; report: summarize the "
                         "run-manifest journal)")
     p.add_argument("--quick", action="store_true",
-                   help="micro/train: reduced case set / repeats; "
-                        "schedules: first family only (CI smoke)")
+                   help="micro/train/serve: reduced case set / repeats / "
+                        "fleet; schedules: first family only (CI smoke)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="serve target: daemon host (with --port)")
+    p.add_argument("--port", type=int, default=0,
+                   help="serve target: an already-running daemon to hit "
+                        "(0 = boot one in-process)")
+    p.add_argument("--clients", type=int, default=0,
+                   help="serve target: synthetic client count "
+                        "(0 = mode default)")
+    p.add_argument("--requests", type=int, default=0,
+                   help="serve target: requests per client "
+                        "(0 = mode default)")
     p.add_argument("--family",
                    choices=("gpt", "moe", "bert", "vit", "both", "all"),
                    default="both",
@@ -456,7 +594,7 @@ def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     return {"info": cmd_info, "profile": cmd_profile,
             "predict": cmd_predict, "search": cmd_search,
-            "bench": cmd_bench}[args.command](args)
+            "serve": cmd_serve, "bench": cmd_bench}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,13 @@ partial lines (events are far below ``PIPE_BUF``).  The journal is the
 flight recorder the acceptance criteria read back: which cells faulted,
 with what failure class, and how many attempts each took.
 
+A long-lived daemon journals continuously, so the file rotates by size:
+once ``manifest.jsonl`` passes ``REPRO_MANIFEST_MAX_BYTES`` (default
+2 MiB) it is renamed to ``manifest.jsonl.1`` (older generations shift to
+``.2`` … up to ``REPRO_MANIFEST_KEEP``, default 3, then fall off) and a
+fresh journal starts.  Readers walk the generations oldest-first, so
+``repro bench report`` sees one continuous history.
+
 Surfaced via ``python -m repro bench report``.
 """
 
@@ -22,9 +29,61 @@ from typing import Any
 
 MANIFEST_NAME = "manifest.jsonl"
 
+#: rotation threshold / retained generations (env-overridable)
+DEFAULT_MAX_BYTES = 2 * 1024 * 1024
+DEFAULT_KEEP = 3
+
 
 def manifest_path(root: str | os.PathLike) -> Path:
     return Path(root) / MANIFEST_NAME
+
+
+def _env_int(name: str, default: int) -> int:
+    env = os.environ.get(name, "")
+    if not env:
+        return default
+    try:
+        return int(env)
+    except ValueError:
+        return default
+
+
+def rotated_paths(root: str | os.PathLike) -> list[Path]:
+    """Existing journal generations under ``root``, oldest first
+    (``manifest.jsonl.N`` … ``manifest.jsonl.1``, then the live file)."""
+    base = manifest_path(root)
+    keep = max(1, _env_int("REPRO_MANIFEST_KEEP", DEFAULT_KEEP))
+    paths = [base.with_name(f"{base.name}.{i}")
+             for i in range(keep, 0, -1)]
+    paths.append(base)
+    return [p for p in paths if p.exists()]
+
+
+def _rotate(path: Path) -> None:
+    """Shift ``manifest.jsonl`` → ``.1`` → ``.2`` …, dropping the oldest.
+
+    Renames are atomic, so a concurrent appender that already holds an
+    open fd keeps appending to the renamed generation — lines are never
+    lost, only land one generation earlier.  Racing rotators are benign:
+    the loser's ``rename`` fails (source gone) and is swallowed.
+    """
+    keep = max(1, _env_int("REPRO_MANIFEST_KEEP", DEFAULT_KEEP))
+    oldest = path.with_name(f"{path.name}.{keep}")
+    try:
+        oldest.unlink()
+    except OSError:
+        pass
+    for i in range(keep - 1, 0, -1):
+        src = path.with_name(f"{path.name}.{i}")
+        if src.exists():
+            try:
+                os.replace(src, path.with_name(f"{path.name}.{i + 1}"))
+            except OSError:
+                pass
+    try:
+        os.replace(path, path.with_name(f"{path.name}.1"))
+    except OSError:
+        pass
 
 
 def append_event(root: str | os.PathLike | None, event: str,
@@ -32,7 +91,8 @@ def append_event(root: str | os.PathLike | None, event: str,
     """Append one journal line under ``root`` (no-op when root is None).
 
     Journaling must never take down the run it is observing, so IO
-    errors are swallowed.
+    errors are swallowed.  Rotation is checked before the append, so a
+    single event can exceed the threshold by at most one line.
     """
     if root is None:
         return
@@ -42,6 +102,14 @@ def append_event(root: str | os.PathLike | None, event: str,
     try:
         path = manifest_path(root)
         path.parent.mkdir(parents=True, exist_ok=True)
+        max_bytes = max(4096,
+                        _env_int("REPRO_MANIFEST_MAX_BYTES",
+                                 DEFAULT_MAX_BYTES))
+        try:
+            if path.stat().st_size >= max_bytes:
+                _rotate(path)
+        except OSError:
+            pass
         fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
             os.write(fd, line.encode())
@@ -52,23 +120,24 @@ def append_event(root: str | os.PathLike | None, event: str,
 
 
 def read_events(root: str | os.PathLike) -> list[dict]:
-    """All parseable journal lines under ``root`` (oldest first)."""
-    path = manifest_path(root)
+    """All parseable journal lines under ``root``, oldest first, across
+    every retained rotation generation."""
     events: list[dict] = []
-    try:
-        text = path.read_text()
-    except OSError:
-        return events
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
+    for path in rotated_paths(root):
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue  # a torn trailing line from a killed writer
-        if isinstance(record, dict):
-            events.append(record)
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn trailing line from a killed writer
+            if isinstance(record, dict):
+                events.append(record)
     return events
 
 
@@ -107,4 +176,11 @@ def summarize(events: list[dict]) -> str:
         for e in guards[-10:]:
             lines.append(f"  {e.get('key', e.get('label', '?'))}: "
                          f"{e.get('site', '?')} → {e.get('action', '?')}")
+    breakers = [e for e in events if e.get("event") == "breaker"]
+    if breakers:
+        lines.append("serving circuit-breaker transitions:")
+        for e in breakers[-20:]:
+            lines.append(f"  {e.get('route', '?'):<12s} "
+                         f"{e.get('from', '?')} → {e.get('to', '?')}"
+                         f" ({e.get('reason', '')})")
     return "\n".join(lines)

@@ -18,10 +18,11 @@ from .inject import (
     garbage_predictions,
     mark_worker,
 )
-from .spec import CRASH_EXIT_CODE, SITES, FaultRule, FaultSpecError, parse_faults
+from .spec import (CRASH_EXIT_CODE, SITE_SUMMARIES, SITES, FaultRule,
+                   FaultSpecError, parse_faults)
 
 __all__ = [
-    "ENV_VAR", "SITES", "CRASH_EXIT_CODE",
+    "ENV_VAR", "SITES", "SITE_SUMMARIES", "CRASH_EXIT_CODE",
     "FaultRule", "FaultSpecError", "parse_faults",
     "InjectedFault", "active_plan", "faults_active",
     "check", "fire", "corrupt_file", "garbage_predictions", "mark_worker",

@@ -21,7 +21,11 @@ Behaviors of :func:`fire`:
 * ``shard_corrupt`` / ``train_diverge`` / ``predict_garbage`` —
   decision-only sites: callers use :func:`check` and apply the damage
   themselves (:func:`corrupt_file`, a NaN loss,
-  :func:`garbage_predictions`).
+  :func:`garbage_predictions`);
+* ``conn_drop`` / ``slow_client`` / ``request_garbage`` — decision-only
+  sites consulted by the serving load generator
+  (:mod:`repro.perf.servebench`): the *client* misbehaves per the plan
+  and the daemon must absorb it.
 
 Plans are parsed once per distinct ``REPRO_FAULTS`` value and decisions
 are pure functions of ``(rule, index, attempt)``, so parent, forked

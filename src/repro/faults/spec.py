@@ -21,7 +21,16 @@ Sites (where the harness consults the plan):
                    scrambled (each value multiplied or divided by 1000),
                    exercising the trust layer's bounds guards;
 ``predictor_error``  the predictor raises at inference time, exercising
-                   the search's analytical-fallback escalation.
+                   the search's analytical-fallback escalation;
+``conn_drop``      a serving-bench client closes its connection right
+                   after sending a request (the daemon must absorb the
+                   broken pipe, not crash or leak the slot);
+``slow_client``    a serving-bench client dribbles its request bytes
+                   slower than the server's read timeout (slow-loris),
+                   exercising per-connection read deadlines;
+``request_garbage``  a serving-bench client sends a malformed payload
+                   instead of JSON, exercising the protocol layer's
+                   error responses.
 
 Common parameters:
 
@@ -48,7 +57,22 @@ import hashlib
 from dataclasses import dataclass, field
 
 SITES = ("worker_crash", "cell_hang", "io_error", "shard_corrupt",
-         "train_diverge", "predict_garbage", "predictor_error")
+         "train_diverge", "predict_garbage", "predictor_error",
+         "conn_drop", "slow_client", "request_garbage")
+
+#: one-line description per site (``repro info`` lists these)
+SITE_SUMMARIES = {
+    "worker_crash": "an engine worker dies abruptly before its cell",
+    "cell_hang": "a worker sleeps past the supervisor's cell timeout",
+    "io_error": "a transient OSError on a results-cache shard write",
+    "shard_corrupt": "a published cache shard is scribbled over",
+    "train_diverge": "one training epoch's loss becomes NaN",
+    "predict_garbage": "a predictor's output vector is scrambled",
+    "predictor_error": "the predictor raises at inference time",
+    "conn_drop": "a serving client drops its connection mid-request",
+    "slow_client": "a serving client dribbles bytes (slow-loris)",
+    "request_garbage": "a serving client sends a malformed payload",
+}
 
 #: exit status an injected worker crash dies with (visible in manifests)
 CRASH_EXIT_CODE = 73

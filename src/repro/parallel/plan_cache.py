@@ -26,6 +26,7 @@ bit-identical, so this is a debugging escape hatch, not a results knob).
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from ..cluster.mesh import LogicalMesh
@@ -55,30 +56,44 @@ class PlanCacheStats:
 
 @dataclass
 class PlanCache:
-    """In-process memo of intra-op DP results keyed by graph structure."""
+    """In-process memo of intra-op DP results keyed by graph structure.
+
+    Thread-safe: the serving daemon profiles and solves from multiple
+    threads.  The DP solve itself runs outside the lock (it is the
+    expensive part and deterministic per key), so racing threads on one
+    cold key each solve and the first insert wins — identical results
+    either way.
+    """
 
     _entries: dict[tuple[str, str], tuple[list[NodeAssignment], float]] = \
         field(default_factory=dict)
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False)
 
     def optimize(self, graph: Graph, mesh: LogicalMesh) -> IntraOpPlan:
         key = (canonical_hash(graph), mesh.key())
-        hit = self._entries.get(key)
-        if hit is not None:
-            self.stats.hits += 1
-            assignments, estimated = hit
-            return IntraOpPlan(graph, mesh, list(assignments), estimated)
-        self.stats.misses += 1
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self.stats.hits += 1
+                assignments, estimated = hit
+                return IntraOpPlan(graph, mesh, list(assignments), estimated)
+            self.stats.misses += 1
         plan = _optimize_impl()(graph, mesh)
-        self._entries[key] = (list(plan.assignments), plan.estimated_time)
+        with self._lock:
+            self._entries.setdefault(
+                key, (list(plan.assignments), plan.estimated_time))
         return plan
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = PlanCacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = PlanCacheStats()
 
 
 _GLOBAL: PlanCache | None = None

@@ -6,12 +6,17 @@ micro-benchmark over the active profile's GPT grid and emits the
 ``BENCH_intraop.json`` artifact (``repro bench micro``);
 ``repro.perf.trainbench`` drives the predictor-pipeline benchmark (fast
 hot path vs the seed baseline, bit-identical by construction) and emits
-``BENCH_train.json`` (``repro bench train``).
+``BENCH_train.json`` (``repro bench train``);
+``repro.perf.servebench`` drives a deterministic synthetic-client fleet
+against the serving daemon (chaos-aware via ``REPRO_FAULTS``) and emits
+``BENCH_serve.json`` (``repro bench serve``).
 """
 
 from .timing import PerfRecorder, TimingStats, percentile
 from .microbench import run_intraop_microbench
+from .servebench import run_serve_bench
 from .trainbench import run_train_microbench
 
 __all__ = ["PerfRecorder", "TimingStats", "percentile",
-           "run_intraop_microbench", "run_train_microbench"]
+           "run_intraop_microbench", "run_serve_bench",
+           "run_train_microbench"]

@@ -1,0 +1,385 @@
+"""Serving load-test harness (``repro bench serve``).
+
+Hammers one :class:`~repro.serving.server.ReproServer` — booted
+in-process by default, or an external daemon via ``--port`` — with a
+deterministic fleet of synthetic clients speaking the JSON-lines
+protocol over real sockets.  Each client keeps a persistent connection
+and draws its request mix (predict / predict_many / whatif / search /
+health) from a per-client seeded RNG, so a rerun replays byte-identical
+traffic.
+
+Misbehaving clients come from the fault plan (``REPRO_FAULTS``), keyed
+on the **global request index** so chaos runs are reproducible:
+
+* ``request_garbage`` — the client sends one of several malformed
+  payloads (binary junk, bare JSON arrays, unknown ops) and expects an
+  *error response*, not a dropped connection;
+* ``conn_drop`` — the client slams its connection shut right after
+  writing the request; the daemon must absorb the broken pipe;
+* ``slow_client`` — the client dribbles its request bytes slower than
+  the server's read timeout (slow-loris) and expects to be reaped with
+  an ``invalid_request`` answer.
+
+Well-behaved clients honor backpressure: an ``overloaded``/``draining``
+response is retried after the server's ``retry_after_ms`` hint (bounded
+retries), and only then recorded as shed.  The robustness contract the
+bench asserts (and CI gates on): **zero unanswered requests** — every
+fully sent request on a surviving connection gets a response line.
+
+The result dict (written as ``BENCH_serve.json``) records p50/p99/mean
+latency per op, throughput, shed/degraded/error rates, the client-side
+fault tallies, the server's closing health snapshot, and every circuit
+breaker transition observed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import statistics
+import threading
+import time
+
+from .. import faults
+from .timing import percentile
+
+SCHEMA = "predtop.bench_serve/v1"
+
+#: ops drawn by well-behaved clients, with mix weights
+OP_WEIGHTS = (("predict", 55), ("predict_many", 15), ("whatif", 15),
+              ("search", 5), ("health", 10))
+
+#: malformed payloads cycled through by ``request_garbage`` clients
+GARBAGE_LINES = (
+    b"\x00\xff\xfe garbage not json\n",
+    b"[1, 2, 3]\n",
+    b'{"op": 17}\n',
+    b'{"op": "explode"}\n',
+    b'{"op": "predict", "params": "not an object"}\n',
+    b'{"op": "predict", "deadline_ms": "soon"}\n',
+    b'{truncated\n',
+)
+
+#: bounded retries a polite client spends on overloaded/draining answers
+MAX_RETRIES = 4
+
+
+class _ClientStats:
+    """One client's tally (merged single-threaded afterwards)."""
+
+    def __init__(self) -> None:
+        self.latencies_ms: dict[str, list[float]] = {}
+        self.ok = 0
+        #: prediction-shaped answers actually served by the model path
+        self.ok_model = 0
+        self.degraded = 0
+        self.errors: dict[str, int] = {}
+        self.shed_retries = 0
+        self.shed_final = 0
+        self.unanswered = 0
+        self.conn_drops = 0
+        self.slow_loris = 0
+        self.garbage_sent = 0
+        self.reconnects = 0
+
+
+class _Client:
+    """One synthetic client: persistent connection, seeded request mix."""
+
+    def __init__(self, cid: int, address: tuple[str, int], n_requests: int,
+                 seed: int, requests_per_client: int, quick: bool,
+                 read_timeout_s: float) -> None:
+        import random
+
+        self.cid = cid
+        self.address = address
+        self.n_requests = n_requests
+        self.requests_per_client = requests_per_client
+        self.quick = quick
+        self.read_timeout_s = read_timeout_s
+        self.rng = random.Random((seed + 1) * 1_000_003 + cid * 8191)
+        self.stats = _ClientStats()
+        self.sock: socket.socket | None = None
+        self._buf = b""
+
+    # --------------------------------------------------------------- socket
+    def _connect(self) -> None:
+        self.sock = socket.create_connection(self.address, timeout=5.0)
+        self.sock.settimeout(self.read_timeout_s)
+        self._buf = b""
+
+    def _close(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+        self._buf = b""
+
+    def _read_line(self) -> bytes | None:
+        """One response line, or ``None`` when the server went silent."""
+        while b"\n" not in self._buf:
+            try:
+                chunk = self.sock.recv(65536)
+            except (socket.timeout, OSError):
+                return None
+            if not chunk:
+                return None
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return line
+
+    # ------------------------------------------------------------- requests
+    def _draw_op(self) -> str:
+        total = sum(w for _, w in OP_WEIGHTS)
+        draw = self.rng.randrange(total)
+        for op, w in OP_WEIGHTS:
+            if draw < w:
+                return op
+            draw -= w
+        return "predict"  # pragma: no cover
+
+    def _build_request(self, op: str, rid: str) -> dict:
+        params: dict = {}
+        if op == "predict":
+            params = {"slice": self.rng.choice([[0, 1], [0, 2], [1, 2]])}
+        elif op == "predict_many":
+            params = {"slices": [[0, 1], [1, 2], [0, 2]]
+                      [: self.rng.randrange(1, 4)]}
+        elif op == "whatif":
+            params = {"n_stages": self.rng.randrange(1, 3),
+                      "n_microbatches": self.rng.choice([2, 4, 8])}
+        elif op == "search":
+            params = {"stage_counts": [1, 2] if self.quick else [1, 2, 3],
+                      "n_microbatches": 4}
+        deadline_ms = 60_000.0 if op == "search" else 20_000.0
+        return {"op": op, "id": rid, "params": params,
+                "deadline_ms": deadline_ms}
+
+    # -------------------------------------------------------------- running
+    def run(self) -> None:
+        try:
+            self._connect()
+        except OSError:
+            self.stats.unanswered += self.n_requests
+            return
+        for i in range(self.n_requests):
+            gidx = self.cid * self.requests_per_client + i
+            try:
+                self._one_request(i, gidx)
+            except OSError:
+                self.stats.reconnects += 1
+                try:
+                    self._connect()
+                except OSError:
+                    self.stats.unanswered += 1
+        self._close()
+
+    def _one_request(self, i: int, gidx: int) -> None:
+        st = self.stats
+        # ---- misbehaving variants, decided by the fault plan ----
+        if faults.check("request_garbage", gidx) is not None:
+            st.garbage_sent += 1
+            line = GARBAGE_LINES[gidx % len(GARBAGE_LINES)]
+            self.sock.sendall(line)
+            resp = self._read_answer()
+            if resp is None:
+                st.unanswered += 1
+            else:
+                code = (resp.get("error") or {}).get("code", "?")
+                st.errors[code] = st.errors.get(code, 0) + 1
+            return
+        rid = f"c{self.cid}-{i}"
+        wire = (json.dumps(self._build_request(self._draw_op(), rid))
+                + "\n").encode()
+        if faults.check("conn_drop", gidx) is not None:
+            # fire-and-vanish: the daemon must absorb the broken pipe
+            st.conn_drops += 1
+            try:
+                self.sock.sendall(wire)
+            finally:
+                self._close()
+            self._connect()
+            return
+        if faults.check("slow_client", gidx) is not None:
+            # slow-loris: dribble a partial line past the read timeout
+            st.slow_loris += 1
+            self.sock.sendall(wire[: max(1, len(wire) // 2)])
+            resp = self._read_answer(extra_timeout=self.read_timeout_s * 3)
+            if resp is None:
+                st.unanswered += 1
+            else:
+                code = (resp.get("error") or {}).get("code", "?")
+                st.errors[code] = st.errors.get(code, 0) + 1
+            # the server closed this connection after reaping it
+            self._close()
+            self._connect()
+            return
+        # ---- the polite path, honoring retry_after backpressure ----
+        request = json.loads(wire)
+        for _attempt in range(MAX_RETRIES + 1):
+            t0 = time.monotonic()
+            self.sock.sendall(wire)
+            resp = self._read_answer()
+            if resp is None:
+                st.unanswered += 1
+                raise OSError("no response")
+            dt_ms = (time.monotonic() - t0) * 1e3
+            code = (resp.get("error") or {}).get("code")
+            if code in ("overloaded", "draining"):
+                st.shed_retries += 1
+                time.sleep(min(1.0,
+                               float(resp.get("retry_after_ms", 50)) / 1e3))
+                continue
+            if resp.get("ok"):
+                st.ok += 1
+                op = request["op"]
+                if resp.get("degraded"):
+                    st.degraded += 1
+                elif op != "health":
+                    st.ok_model += 1
+                st.latencies_ms.setdefault(op, []).append(dt_ms)
+            else:
+                st.errors[code or "?"] = st.errors.get(code or "?", 0) + 1
+            return
+        st.shed_final += 1
+
+    def _read_answer(self, extra_timeout: float = 0.0) -> dict | None:
+        if extra_timeout:
+            self.sock.settimeout(self.read_timeout_s + extra_timeout)
+        try:
+            line = self._read_line()
+        finally:
+            if extra_timeout:
+                self.sock.settimeout(self.read_timeout_s)
+        if line is None:
+            return None
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            return None
+
+
+# ---------------------------------------------------------------- the bench
+def _summarize(per_op: dict[str, list[float]]) -> dict:
+    out = {}
+    for op, xs in sorted(per_op.items()):
+        out[op] = {
+            "n": len(xs),
+            "p50_ms": round(percentile(xs, 50), 3),
+            "p99_ms": round(percentile(xs, 99), 3),
+            "mean_ms": round(statistics.fmean(xs), 3),
+        }
+    return out
+
+
+def _health(address: tuple[str, int]) -> dict | None:
+    try:
+        sock = socket.create_connection(address, timeout=5.0)
+        sock.sendall(b'{"op": "health", "id": "bench-final"}\n')
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return None
+            buf += chunk
+        sock.close()
+        return json.loads(buf.split(b"\n", 1)[0]).get("result")
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def run_serve_bench(quick: bool = False, address: tuple[str, int] | None = None,
+                    clients: int | None = None,
+                    requests_per_client: int | None = None,
+                    seed: int = 0) -> dict:
+    """Run the fleet against a daemon; returns the ``BENCH_serve`` dict.
+
+    ``address=None`` boots a small server in-process (own runtime, quiet
+    ephemeral port) and drains it afterwards; otherwise the fleet targets
+    the external daemon at ``address`` and never touches its lifecycle.
+    """
+    from ..serving.runtime import PredictorRuntime, RuntimeConfig
+    from ..serving.server import ReproServer, ServerConfig
+
+    clients = clients or (8 if quick else 24)
+    requests_per_client = requests_per_client or (12 if quick else 25)
+
+    server = None
+    if address is None:
+        runtime = PredictorRuntime.build(RuntimeConfig(
+            layers=2, units=3, sample_fraction=0.6,
+            epochs=3 if quick else 6, seed=seed))
+        server = ReproServer(runtime, ServerConfig(
+            port=0, workers=2, read_timeout_s=1.0, idle_timeout_s=30.0))
+        server.start()
+        address = server.address
+    read_timeout_s = 30.0
+
+    fleet = [_Client(cid, address, requests_per_client, seed,
+                     requests_per_client, quick, read_timeout_s)
+             for cid in range(clients)]
+    t0 = time.monotonic()
+    threads = [threading.Thread(target=c.run, name=f"bench-client-{c.cid}",
+                                daemon=True) for c in fleet]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.monotonic() - t0
+
+    health = _health(address)
+    transitions = []
+    if server is not None:
+        for route, breaker in sorted(server.breakers.items()):
+            transitions.extend(
+                {"route": route, "from": a, "to": b, "reason": reason}
+                for (a, b, reason) in breaker.transitions)
+        server.stop()
+
+    # ---------------------------------------------------------- aggregation
+    per_op: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    totals = {"ok": 0, "ok_model": 0, "degraded": 0,
+              "shed_retries": 0, "shed_final": 0,
+              "unanswered": 0, "conn_drops": 0, "slow_loris": 0,
+              "garbage_sent": 0, "reconnects": 0}
+    for c in fleet:
+        st = c.stats
+        for op, xs in st.latencies_ms.items():
+            per_op.setdefault(op, []).extend(xs)
+        for code, n in st.errors.items():
+            errors[code] = errors.get(code, 0) + n
+        totals["ok"] += st.ok
+        totals["ok_model"] += st.ok_model
+        totals["degraded"] += st.degraded
+        totals["shed_retries"] += st.shed_retries
+        totals["shed_final"] += st.shed_final
+        totals["unanswered"] += st.unanswered
+        totals["conn_drops"] += st.conn_drops
+        totals["slow_loris"] += st.slow_loris
+        totals["garbage_sent"] += st.garbage_sent
+        totals["reconnects"] += st.reconnects
+    sent = clients * requests_per_client
+    answered = totals["ok"] + sum(errors.values())
+    return {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "in_process": server is not None,
+        "faults": os.environ.get(faults.ENV_VAR, ""),
+        "config": {"clients": clients,
+                   "requests_per_client": requests_per_client,
+                   "seed": seed},
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(answered / wall_s, 2) if wall_s else 0.0,
+        "requests_sent": sent,
+        "answered": answered,
+        "totals": totals,
+        "zero_unanswered": totals["unanswered"] == 0,
+        "error_responses": dict(sorted(errors.items())),
+        "latency": _summarize(per_op),
+        "breaker_transitions": transitions,
+        "server_health": health,
+    }

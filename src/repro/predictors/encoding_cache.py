@@ -20,6 +20,7 @@ arrays with the exact same calls, so the cache is bit-transparent.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,28 +77,41 @@ class EncodingCacheStats:
 
 @dataclass
 class EncodingCache:
-    """In-process memo of graph encodings keyed by canonical hash."""
+    """In-process memo of graph encodings keyed by canonical hash.
+
+    Thread-safe: the serving daemon's micro-batcher and executor threads
+    hit this cache concurrently.  Lookups and inserts hold a lock;
+    encoding computation runs outside it, so two threads racing on the
+    same cold key may both compute — the bundles are value-identical and
+    the second insert is a no-op, trading a rare duplicate encode for
+    never serializing the hot path.
+    """
 
     _entries: dict[str, GraphEncoding] = field(default_factory=dict)
     stats: EncodingCacheStats = field(default_factory=EncodingCacheStats)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False)
 
     def get(self, graph: Graph) -> GraphEncoding:
         key = canonical_hash(graph)
-        hit = self._entries.get(key)
-        if hit is not None:
-            self.stats.hits += 1
-            return hit
-        self.stats.misses += 1
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self.stats.hits += 1
+                return hit
+            self.stats.misses += 1
         enc = compute_encoding(graph)
-        self._entries[key] = enc
-        return enc
+        with self._lock:
+            return self._entries.setdefault(key, enc)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = EncodingCacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = EncodingCacheStats()
 
 
 _GLOBAL: EncodingCache | None = None

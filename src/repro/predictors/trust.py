@@ -218,6 +218,26 @@ class EnsemblePredictor:
         self.feature_stats: FeatureStats | None = None
         self.fit_result: EnsembleFitResult | None = None
 
+    @classmethod
+    def from_members(cls, members: list[LatencyPredictor],
+                     feature_stats: FeatureStats | None = None,
+                     ) -> "EnsemblePredictor":
+        """Wrap already-fitted predictors (e.g. loaded checkpoints) into
+        an ensemble — the serving daemon's load path.
+
+        The members must be fitted; ``feature_stats`` (for OOD scoring)
+        can be recorded separately from any representative corpus.
+        """
+        if not members:
+            raise ValueError("need at least one fitted member")
+        for m in members:
+            if m.model is None or m.normalizer is None:
+                raise ValueError("every ensemble member must be fitted")
+        out = cls(members[0].kind, seed=members[0].seed, size=len(members))
+        out.members = list(members)
+        out.feature_stats = feature_stats
+        return out
+
     def fit(
         self,
         train: list[StageSample],

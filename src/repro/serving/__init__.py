@@ -1,0 +1,26 @@
+"""Resilient PredTOP serving daemon (``repro serve``).
+
+The package layers, bottom up:
+
+* :mod:`.protocol` — the JSON-lines wire format and its validation;
+* :mod:`.breaker` — per-route circuit breakers over the trust layer;
+* :mod:`.runtime` — the loaded-once predictor state every thread shares;
+* :mod:`.batcher` — the micro-batcher coalescing predictions;
+* :mod:`.server` — admission control, deadlines, lifecycle, the socket.
+"""
+
+from .breaker import BreakerConfig, CircuitBreaker
+from .protocol import (ERROR_CODES, MAX_LINE_BYTES, OP_SUMMARIES, OPS,
+                       ProtocolError, Request, encode_response,
+                       error_response, ok_response, parse_request)
+from .runtime import PredictorRuntime, RuntimeConfig
+from .server import ReproServer, ServerConfig
+
+__all__ = [
+    "BreakerConfig", "CircuitBreaker",
+    "ERROR_CODES", "MAX_LINE_BYTES", "OP_SUMMARIES", "OPS",
+    "ProtocolError", "Request", "encode_response", "error_response",
+    "ok_response", "parse_request",
+    "PredictorRuntime", "RuntimeConfig",
+    "ReproServer", "ServerConfig",
+]

@@ -1,0 +1,195 @@
+"""Micro-batcher: coalesce in-flight predictions into one model call.
+
+Single-graph ``predict`` requests dominate serving traffic, and the
+ensemble's :meth:`predict_many` amortizes batch construction across
+graphs (PR-5).  The batcher exploits that: connection threads enqueue
+pending predictions into a bounded queue; one batcher thread drains it,
+waits up to ``window_ms`` for stragglers (up to ``max_batch``), and
+answers the whole batch from a single guarded model call.
+
+Robustness contract:
+
+* the queue is **bounded** — a full queue rejects the submit and the
+  server sheds the request with ``retry_after`` (never a silent drop);
+* every dequeued request is **always answered** — expired ones with
+  ``deadline_exceeded``, the rest from the model path, the analytical
+  path (breaker open), or the analytical path again when the model call
+  itself throws mid-batch (the throw is also reported to the breaker);
+* model-path outcomes feed the route's circuit breaker, so a poisoned
+  predictor degrades the route instead of failing every batch forever.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .breaker import CircuitBreaker
+from .protocol import Request, error_response, ok_response
+from .runtime import PredictorRuntime
+
+
+@dataclass
+class _Pending:
+    """One enqueued prediction awaiting its batch."""
+
+    request: Request
+    graphs: list
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict | None = None
+
+    def resolve(self, response: dict[str, Any]) -> None:
+        self.response = response
+        self.done.set()
+
+    def wait(self, timeout: float) -> dict[str, Any] | None:
+        if self.done.wait(timeout):
+            return self.response
+        return None
+
+
+class MicroBatcher:
+    """The coalescing thread plus its bounded admission queue."""
+
+    def __init__(
+        self,
+        runtime: PredictorRuntime,
+        breaker: CircuitBreaker,
+        *,
+        max_batch: int = 32,
+        window_ms: float = 4.0,
+        max_queue: int = 256,
+        on_batch: Callable[[int, str], None] | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.breaker = breaker
+        self.max_batch = max(1, max_batch)
+        self.window_s = max(0.0, window_ms) / 1000.0
+        self._queue: queue.Queue[_Pending | None] = queue.Queue(
+            maxsize=max(1, max_queue))
+        #: observability hook: (batch size, served_by) per executed batch
+        self._on_batch = on_batch
+        self.batches = 0
+        self.coalesced = 0
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, drain_timeout: float = 10.0) -> None:
+        """Stop after answering everything already queued."""
+        self._stopped.set()
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
+        self._thread.join(timeout=drain_timeout)
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------ admission
+    def submit(self, pending: _Pending) -> bool:
+        """Enqueue one prediction; ``False`` = full, caller must shed."""
+        if self._stopped.is_set():
+            return False
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            return False
+        return True
+
+    # ------------------------------------------------------------- the loop
+    def _collect(self) -> list[_Pending]:
+        """Block for one item, then coalesce stragglers for a window."""
+        try:
+            first = self._queue.get(timeout=0.25)
+        except queue.Empty:
+            return []
+        if first is None:
+            return []
+        batch = [first]
+        total_graphs = len(first.graphs)
+        deadline = time.monotonic() + self.window_s
+        while total_graphs < self.max_batch:
+            wait = deadline - time.monotonic()
+            if wait <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=wait)
+            except queue.Empty:
+                break
+            if item is None:
+                break
+            batch.append(item)
+            total_graphs += len(item.graphs)
+        return batch
+
+    def _loop(self) -> None:
+        while not (self._stopped.is_set() and self._queue.empty()):
+            batch = self._collect()
+            if not batch:
+                continue
+            self._execute(batch)
+        # answer anything that raced the sentinel
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        if leftovers:
+            self._execute(leftovers)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        live: list[_Pending] = []
+        for item in batch:
+            if item.request.expired:
+                item.resolve(error_response(
+                    item.request.id, "deadline_exceeded",
+                    f"request expired after "
+                    f"{item.request.deadline_ms:.0f} ms in queue"))
+            else:
+                live.append(item)
+        if not live:
+            return
+        self.batches += 1
+        self.coalesced += len(live)
+        graphs = [g for item in live for g in item.graphs]
+        use_model = self.breaker.allow_model()
+        try:
+            results, suspect, served_by = self.runtime.predict_batch(
+                graphs, use_model)
+        except Exception as exc:  # noqa: BLE001 - degrade, never drop
+            self.breaker.record(False,
+                                f"{type(exc).__name__}: {exc}")
+            results, _, served_by = self.runtime.predict_batch(
+                graphs, use_model=False)
+            suspect = 0
+        else:
+            if served_by == "model":
+                self.breaker.record(suspect == 0,
+                                    f"{suspect} suspect verdict(s)"
+                                    if suspect else "")
+        if self._on_batch is not None:
+            self._on_batch(len(live), served_by)
+        degraded = served_by != "model"
+        cursor = 0
+        for item in live:
+            chunk = results[cursor:cursor + len(item.graphs)]
+            cursor += len(item.graphs)
+            payload = ({"predictions": chunk}
+                       if item.request.op == "predict_many"
+                       else chunk[0])
+            item.resolve(ok_response(item.request, payload,
+                                     degraded=degraded, served_by=served_by))

@@ -1,0 +1,151 @@
+"""Per-route circuit breaker over the trust layer.
+
+The daemon's model path can go bad in ways a single request cannot see:
+an ensemble that stops agreeing with itself, a burst of OOD queries, a
+predictor that starts throwing, or a queue so saturated that model-path
+latency itself is the problem.  The breaker watches a sliding window of
+per-request outcomes and, past a failure threshold, flips the route to
+the **analytical estimator** (the PR-4 degradation path): every answer
+stays correct-and-bounded, just cheaper and flagged ``degraded``.
+
+States follow the classic pattern:
+
+* ``closed`` — healthy; model path serves, outcomes are recorded;
+* ``open`` — tripped; the analytical path serves everything until
+  ``cooldown_s`` elapses;
+* ``half_open`` — after cooldown, a single probe request is let through
+  to the model path; success closes the breaker, failure re-opens it
+  (and restarts the cooldown).
+
+Every transition is journaled to the run manifest (``event:
+"breaker"``), so ``repro bench report`` reconstructs the service's
+degradation history after the fact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..experiments.manifest import append_event
+
+STATES = ("closed", "open", "half_open")
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery knobs of one route's breaker."""
+
+    #: consecutive-window failures that trip the breaker
+    failure_threshold: int = 5
+    #: sliding window length (recent outcomes considered)
+    window: int = 20
+    #: seconds the breaker stays open before probing
+    cooldown_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.window < self.failure_threshold:
+            raise ValueError("window must be >= failure_threshold")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+class CircuitBreaker:
+    """One route's breaker; thread-safe."""
+
+    def __init__(self, route: str, config: BreakerConfig | None = None,
+                 journal_root=None,
+                 clock=time.monotonic) -> None:
+        self.route = route
+        self.config = config or BreakerConfig()
+        self.journal_root = journal_root
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = "closed"
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.transitions: list[tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------- state
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, to: str, reason: str) -> None:
+        old = self._state
+        if old == to:
+            return
+        self._state = to
+        self.transitions.append((old, to, reason))
+        append_event(self.journal_root, "breaker", route=self.route,
+                     **{"from": old}, to=to, reason=reason)
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.config.cooldown_s):
+            self._probe_inflight = False
+            self._transition("half_open", "cooldown elapsed")
+
+    # ------------------------------------------------------------- api
+    def allow_model(self) -> bool:
+        """May this request take the model path right now?
+
+        In ``half_open`` only one in-flight probe is admitted; everyone
+        else stays on the analytical path until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record(self, success: bool, reason: str = "") -> None:
+        """Report the outcome of a model-path request."""
+        with self._lock:
+            if self._state == "half_open":
+                self._probe_inflight = False
+                if success:
+                    self._outcomes.clear()
+                    self._transition("closed", "probe succeeded")
+                else:
+                    self._opened_at = self._clock()
+                    self._transition("open",
+                                     f"probe failed ({reason or 'failure'})")
+                return
+            if self._state == "open":
+                return  # stale outcome from before the trip
+            self._outcomes.append(success)
+            failures = sum(1 for x in self._outcomes if not x)
+            if failures >= self.config.failure_threshold:
+                self._opened_at = self._clock()
+                self._transition(
+                    "open",
+                    f"{failures} failures in window of "
+                    f"{len(self._outcomes)} ({reason or 'failure'})")
+
+    def force_open(self, reason: str) -> None:
+        """Trip immediately (e.g. sustained queue saturation)."""
+        with self._lock:
+            self._opened_at = self._clock()
+            self._probe_inflight = False
+            self._transition("open", reason)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "failures_in_window": sum(1 for x in self._outcomes if not x),
+                "window_filled": len(self._outcomes),
+                "transitions": len(self.transitions),
+            }

@@ -1,0 +1,628 @@
+"""The resilient PredTOP serving daemon (``repro serve``).
+
+A threaded JSON-lines TCP server wrapping one
+:class:`~repro.serving.runtime.PredictorRuntime`.  The robustness core:
+
+* **admission control + backpressure** — predictions enter the bounded
+  micro-batcher queue, what-if/search jobs a bounded executor queue; a
+  full queue answers ``overloaded`` with ``retry_after_ms`` (load shed,
+  never a silent drop), and sustained saturation force-opens the predict
+  breaker so the cheap analytical path drains the backlog;
+* **per-request deadlines** — every request carries ``deadline_ms``;
+  expired work is answered ``deadline_exceeded`` instead of running, and
+  searches fan their candidates through :func:`supervised_map` with
+  per-candidate timeouts so a hung or crashed candidate costs a retry /
+  a partial answer, never a hung connection;
+* **circuit breakers** (:mod:`repro.serving.breaker`) per route —
+  suspect-verdict bursts, throwing predictors, crashed search workers,
+  and queue saturation flip the route to the analytical estimator
+  (answers flagged ``degraded``), with half-open probing for recovery;
+  every transition is journaled to the run manifest;
+* **lifecycle** — startup runs ``reap_stale()`` and reports quarantined
+  cache shards; ``health`` serves readiness/liveness inline (never
+  queued, so it works under overload); SIGTERM drains gracefully
+  (in-flight requests finish, new ones get ``draining``); an optional
+  watcher reloads ``--checkpoint`` files in place when they change,
+  keeping the old ensemble on a torn load.
+
+Slow-loris defense: a connection that dribbles a partial request slower
+than ``read_timeout_s`` is reaped; request lines are capped at
+``MAX_LINE_BYTES``.  Malformed payloads get an error *response* — the
+connection survives.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..experiments.manifest import append_event
+from .batcher import MicroBatcher, _Pending
+from .breaker import BreakerConfig, CircuitBreaker
+from .protocol import (MAX_LINE_BYTES, ProtocolError, Request,
+                       encode_response, error_response, ok_response,
+                       parse_request)
+from .runtime import PredictorRuntime
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Daemon knobs (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    #: executor threads for whatif/search
+    workers: int = 2
+    #: bounded executor queue (admission control)
+    max_queue: int = 32
+    #: bounded batcher queue
+    max_batch_queue: int = 256
+    max_batch: int = 32
+    batch_window_ms: float = 4.0
+    default_deadline_ms: float = 30_000.0
+    #: base of the shed responses' retry_after_ms hint
+    retry_after_ms: float = 25.0
+    #: consecutive sheds that force-open the predict breaker
+    shed_trip: int = 32
+    #: partial-request (slow-loris) read deadline
+    read_timeout_s: float = 5.0
+    #: idle-connection reap
+    idle_timeout_s: float = 60.0
+    max_connections: int = 256
+    drain_timeout_s: float = 15.0
+    #: poll checkpoints for in-place reload (0 = off)
+    reload_poll_s: float = 0.0
+    #: supervised retries per search candidate
+    search_retries: int = 1
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+
+class Counters:
+    """Thread-safe monotonic counters for the health endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+
+class _Job:
+    """One queued executor request plus its reply slot."""
+
+    __slots__ = ("request", "done", "response")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.done = threading.Event()
+        self.response: dict | None = None
+
+    def resolve(self, response: dict) -> None:
+        self.response = response
+        self.done.set()
+
+
+class ReproServer:
+    """The daemon: one runtime, many connections, bounded work."""
+
+    def __init__(self, runtime: PredictorRuntime,
+                 config: ServerConfig | None = None,
+                 journal_root=None) -> None:
+        self.runtime = runtime
+        self.config = config or ServerConfig()
+        self.journal_root = journal_root
+        self.counters = Counters()
+        self.breakers = {
+            route: CircuitBreaker(route, self.config.breaker,
+                                  journal_root=journal_root)
+            for route in ("predict", "whatif", "search")
+        }
+        self.batcher = MicroBatcher(
+            runtime, self.breakers["predict"],
+            max_batch=self.config.max_batch,
+            window_ms=self.config.batch_window_ms,
+            max_queue=self.config.max_batch_queue,
+            on_batch=self._on_batch)
+        self._exec_queue: queue.Queue[_Job | None] = queue.Queue(
+            maxsize=max(1, self.config.max_queue))
+        self._listen: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._consecutive_sheds = 0
+        #: stable callable identity for the engine's persistent pool
+        self._search_task = runtime.evaluate_candidate
+        self._search_lock = threading.Lock()
+        self._started = threading.Event()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self.draining = False
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._listen is not None, "server not started"
+        return self._listen.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> None:
+        """Bind, spawn the worker threads, and become ready."""
+        from ..experiments.cache import global_cache
+
+        append_event(self.journal_root, "serve_start", pid=os.getpid(),
+                     runtime=self.runtime.describe())
+        # startup hygiene: reap orphaned temp/lock files, surface any
+        # quarantined shards (corrupted results must be visible, not
+        # silently rebuilt behind the daemon's back)
+        cache = global_cache()
+        if cache.root is not None:
+            reaped = cache.reap_stale()
+            quarantined = [str(p) for p in cache.quarantined()]
+            if reaped or quarantined:
+                append_event(self.journal_root, "serve_hygiene",
+                             reaped=reaped, quarantined=quarantined)
+        self._t0 = time.monotonic()
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind((self.config.host, self.config.port))
+        self._listen.listen(128)
+        self._listen.settimeout(0.25)
+        self.batcher.start()
+        for i in range(max(1, self.config.workers)):
+            t = threading.Thread(target=self._executor_loop,
+                                 name=f"repro-serve-exec-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        t = threading.Thread(target=self._accept_loop,
+                             name="repro-serve-accept", daemon=True)
+        t.start()
+        self._threads.append(t)
+        if (self.config.reload_poll_s > 0
+                and self.runtime.config.checkpoints):
+            t = threading.Thread(target=self._reload_loop,
+                                 name="repro-serve-reload", daemon=True)
+            t.start()
+            self._threads.append(t)
+        self._started.set()
+        append_event(self.journal_root, "serve_ready",
+                     host=self.address[0], port=self.port)
+
+    def request_stop(self) -> None:
+        """Begin a graceful drain (idempotent, signal-safe)."""
+        self._stopping.set()
+
+    def stop(self) -> None:
+        """Drain and shut down: refuse new work, finish in-flight."""
+        if self._stopped.is_set():
+            return
+        self.request_stop()
+        self.draining = True
+        append_event(self.journal_root, "serve_drain",
+                     inflight=self._inflight,
+                     exec_depth=self._exec_queue.qsize(),
+                     batch_depth=self.batcher.depth)
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                idle = (self._inflight == 0
+                        and self._exec_queue.empty()
+                        and self.batcher.depth == 0)
+            if idle:
+                break
+            time.sleep(0.05)
+        self.batcher.stop()
+        for _ in self._threads:
+            try:
+                self._exec_queue.put_nowait(None)
+            except queue.Full:
+                break
+        self._stopped.set()
+        if self._listen is not None:
+            try:
+                self._listen.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        append_event(self.journal_root, "serve_stop",
+                     uptime_s=round(time.monotonic() - self._t0, 3),
+                     counters=self.counters.snapshot())
+
+    def serve_forever(self, install_signals: bool = True) -> int:
+        """Run until SIGTERM/SIGINT (or :meth:`request_stop`), drain,
+        exit 0."""
+        if not self._started.is_set():
+            self.start()
+        if (install_signals
+                and threading.current_thread() is threading.main_thread()):
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(sig, lambda *_: self.request_stop())
+        while not self._stopping.is_set():
+            time.sleep(0.1)
+        self.stop()
+        return 0
+
+    # ----------------------------------------------------------- accept loop
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listen.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._conn_lock:
+                too_many = len(self._conns) >= self.config.max_connections
+                if not too_many:
+                    self._conns.add(conn)
+            if too_many:
+                self.counters.inc("connections_refused")
+                try:
+                    conn.sendall(encode_response(error_response(
+                        None, "overloaded", "connection limit reached",
+                        retry_after_ms=self.config.retry_after_ms * 4)))
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            self.counters.inc("connections")
+            t = threading.Thread(target=self._connection_loop, args=(conn,),
+                                 name="repro-serve-conn", daemon=True)
+            t.start()
+
+    # ------------------------------------------------------- connection loop
+    def _connection_loop(self, conn: socket.socket) -> None:
+        conn.settimeout(0.25)
+        buf = b""
+        last_byte = time.monotonic()
+        try:
+            while not self._stopped.is_set():
+                try:
+                    chunk = conn.recv(65536)
+                except socket.timeout:
+                    now = time.monotonic()
+                    if buf and now - last_byte > self.config.read_timeout_s:
+                        # slow-loris: a partial request dribbling in
+                        self.counters.inc("slowloris_reaped")
+                        self._send(conn, error_response(
+                            None, "invalid_request",
+                            f"request incomplete after "
+                            f"{self.config.read_timeout_s:.1f}s"))
+                        return
+                    if (not buf
+                            and now - last_byte > self.config.idle_timeout_s):
+                        return
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    return  # peer closed (conn_drop lands here)
+                last_byte = time.monotonic()
+                buf += chunk
+                if len(buf) > MAX_LINE_BYTES:
+                    self.counters.inc("oversized_requests")
+                    self._send(conn, error_response(
+                        None, "invalid_request",
+                        f"request exceeds {MAX_LINE_BYTES} bytes"))
+                    return
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    self._handle_line(conn, line)
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send(self, conn: socket.socket, response: dict) -> bool:
+        try:
+            conn.sendall(encode_response(response))
+            return True
+        except OSError:
+            # the client vanished mid-reply; the answer was produced, so
+            # this is the client's fault, not an unanswered request
+            self.counters.inc("client_gone")
+            return False
+
+    def _enter(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _exit(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def _handle_line(self, conn: socket.socket, line: bytes) -> None:
+        try:
+            req = parse_request(line, self.config.default_deadline_ms)
+        except ProtocolError as exc:
+            self.counters.inc("bad_requests")
+            self._send(conn, error_response(exc.req_id, exc.code,
+                                            exc.message))
+            return
+        self.counters.inc("accepted")
+        self.counters.inc(f"op_{req.op}")
+        if req.op == "health":
+            # liveness must work under overload and drain: inline, unqueued
+            self._send(conn, ok_response(req, self._health(),
+                                         served_by="server"))
+            self.counters.inc("answered")
+            return
+        if self.draining:
+            self.counters.inc("refused_draining")
+            self._send(conn, error_response(
+                req.id, "draining", "server is draining for shutdown",
+                retry_after_ms=1000.0))
+            return
+        self._enter()
+        try:
+            response = self._dispatch(req)
+        except ProtocolError as exc:
+            self.counters.inc("errors")
+            response = error_response(req.id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - answer, never drop
+            self.counters.inc("internal_errors")
+            response = error_response(req.id, "internal",
+                                      f"{type(exc).__name__}: {exc}")
+        finally:
+            self._exit()
+        self.counters.inc("answered")
+        if not response.get("ok"):
+            self.counters.inc("errors_answered")
+        elif response.get("degraded"):
+            self.counters.inc("degraded_answers")
+        self._send(conn, response)
+
+    # --------------------------------------------------------------- routing
+    def _retry_after(self, depth: int, capacity: int) -> float:
+        return self.config.retry_after_ms * (1.0 + depth / max(1, capacity))
+
+    def _shed(self, req: Request, where: str, depth: int,
+              capacity: int) -> dict:
+        self.counters.inc("shed")
+        self._consecutive_sheds += 1
+        if (self._consecutive_sheds >= self.config.shed_trip
+                and self.breakers["predict"].state == "closed"):
+            # sustained saturation: flip predictions to the cheap
+            # analytical path so the backlog can actually drain
+            self.breakers["predict"].force_open(
+                f"queue saturated ({self._consecutive_sheds} consecutive "
+                f"sheds)")
+        return error_response(
+            req.id, "overloaded", f"{where} queue full",
+            retry_after_ms=self._retry_after(depth, capacity))
+
+    def _dispatch(self, req: Request) -> dict:
+        if req.expired:
+            self.counters.inc("deadline_exceeded")
+            return error_response(req.id, "deadline_exceeded",
+                                  "deadline expired before execution")
+        if req.op in ("predict", "predict_many"):
+            graphs = self.runtime.resolve_graphs(req.params,
+                                                 many=req.op == "predict_many")
+            pending = _Pending(req, graphs)
+            if not self.batcher.submit(pending):
+                return self._shed(req, "prediction", self.batcher.depth,
+                                  self.config.max_batch_queue)
+            self._consecutive_sheds = 0
+            response = pending.wait(max(0.0, req.remaining()) + 30.0)
+            if response is None:  # pragma: no cover - batcher wedged
+                return error_response(req.id, "internal",
+                                      "prediction batch never completed")
+            if not response.get("ok"):
+                self.counters.inc("deadline_exceeded")
+            return response
+        # whatif / search go through the bounded executor
+        job = _Job(req)
+        try:
+            self._exec_queue.put_nowait(job)
+        except queue.Full:
+            return self._shed(req, "executor", self._exec_queue.qsize(),
+                              self.config.max_queue)
+        self._consecutive_sheds = 0
+        response = job.done.wait(max(0.0, req.remaining()) + 60.0)
+        if not response:  # pragma: no cover - executor wedged
+            return error_response(req.id, "internal",
+                                  "executor never completed the request")
+        return job.response
+
+    # -------------------------------------------------------------- executor
+    def _executor_loop(self) -> None:
+        while True:
+            try:
+                job = self._exec_queue.get(timeout=0.25)
+            except queue.Empty:
+                if self._stopped.is_set():
+                    return
+                continue
+            if job is None:
+                return
+            req = job.request
+            try:
+                if req.expired:
+                    self.counters.inc("deadline_exceeded")
+                    job.resolve(error_response(
+                        req.id, "deadline_exceeded",
+                        f"request expired after {req.deadline_ms:.0f} ms "
+                        f"in queue"))
+                elif req.op == "whatif":
+                    job.resolve(self._handle_whatif(req))
+                else:
+                    job.resolve(self._handle_search(req))
+            except ProtocolError as exc:
+                job.resolve(error_response(req.id, exc.code, exc.message))
+            except Exception as exc:  # noqa: BLE001 - answer, never drop
+                self.counters.inc("internal_errors")
+                job.resolve(error_response(
+                    req.id, "internal", f"{type(exc).__name__}: {exc}"))
+
+    def _handle_whatif(self, req: Request) -> dict:
+        breaker = self.breakers["whatif"]
+        use_model = breaker.allow_model()
+        try:
+            result, suspect, served_by = self.runtime.whatif(req.params,
+                                                             use_model)
+        except ProtocolError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - degrade to analytical
+            if use_model:
+                breaker.record(False, f"{type(exc).__name__}: {exc}")
+            result, _, served_by = self.runtime.whatif(req.params, False)
+        else:
+            if served_by == "model":
+                breaker.record(suspect == 0,
+                               f"{suspect} suspect verdict(s)"
+                               if suspect else "")
+        return ok_response(req, result, degraded=served_by != "model",
+                           served_by=served_by)
+
+    def _handle_search(self, req: Request) -> dict:
+        from ..experiments.engine import supervised_map
+
+        candidates = self.runtime.search_candidates(req.params)
+        schedule = self.runtime.search_schedule(req.params)
+        n_micro = self.runtime._int_param(req.params, "n_microbatches", 8, 1)
+        breaker = self.breakers["search"]
+        use_model = breaker.allow_model()
+
+        def _analytical_plan(partial: bool, note: str) -> dict:
+            evals = [self.runtime.evaluate_candidate(
+                (k, n_micro, schedule, False)) for k in candidates]
+            best = min(evals, key=lambda d: d["iteration_latency_s"])
+            return ok_response(req, {
+                "best": best, "candidates": evals, "schedule": schedule,
+                "n_microbatches": n_micro, "partial": partial,
+                "failed_candidates": 0, "note": note,
+            }, degraded=True, served_by="analytical")
+
+        if not use_model:
+            return _analytical_plan(False, "circuit breaker open")
+
+        specs = [(k, n_micro, schedule, True) for k in candidates]
+        remaining = req.remaining()
+        if remaining <= 0:
+            self.counters.inc("deadline_exceeded")
+            return error_response(req.id, "deadline_exceeded",
+                                  "deadline expired before the search ran")
+        # candidates fan out under the supervisor: a hung or crashed
+        # candidate is killed at its share of the deadline, retried, and
+        # at worst dropped from the plan (partial answer, not a hang)
+        per_cell = max(0.2, remaining * 0.8 / len(specs))
+        with self._search_lock:
+            outcome = supervised_map(
+                self._search_task, specs,
+                jobs=min(2, len(specs)),
+                timeout=per_cell,
+                retries=self.config.search_retries,
+                backoff=0.01,
+                labels=[f"serve/search/k{k}" for k in candidates],
+                manifest_root=self.journal_root,
+                run_id=f"serve-{os.getpid()}")
+        completed = [r for r in outcome.results if r is not None]
+        failed = len(outcome.failures)
+        breaker.record(
+            failed == 0,
+            "; ".join(f"{f.label}: {f.failure_class}"
+                      for f in outcome.failures[:3]))
+        if not completed:
+            return _analytical_plan(True,
+                                    "every candidate failed under the "
+                                    "deadline; analytical fallback")
+        best = min(completed, key=lambda d: d["iteration_latency_s"])
+        degraded = any(r["served_by"] != "model" for r in completed)
+        return ok_response(req, {
+            "best": best, "candidates": completed, "schedule": schedule,
+            "n_microbatches": n_micro, "partial": failed > 0,
+            "failed_candidates": failed,
+        }, degraded=degraded,
+            served_by="model" if not degraded else "analytical")
+
+    # ---------------------------------------------------------------- health
+    def _health(self) -> dict:
+        status = ("draining" if self.draining
+                  else "ready" if self._started.is_set() else "starting")
+        return {
+            "status": status,
+            "ready": status == "ready",
+            "live": True,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "queue": {
+                "executor_depth": self._exec_queue.qsize(),
+                "executor_capacity": self.config.max_queue,
+                "batch_depth": self.batcher.depth,
+                "batch_capacity": self.config.max_batch_queue,
+            },
+            "batcher": {"batches": self.batcher.batches,
+                        "coalesced": self.batcher.coalesced},
+            "breakers": {route: b.snapshot()
+                         for route, b in self.breakers.items()},
+            "counters": self.counters.snapshot(),
+            "runtime": self.runtime.describe(),
+        }
+
+    def _on_batch(self, size: int, served_by: str) -> None:
+        self.counters.inc("batches")
+        if size > 1:
+            self.counters.inc("coalesced_requests", size)
+
+    # --------------------------------------------------------------- reload
+    def _checkpoint_stamp(self) -> tuple:
+        stamps = []
+        for path in self.runtime.config.checkpoints:
+            try:
+                st = os.stat(path)
+                stamps.append((path, st.st_mtime_ns, st.st_size))
+            except OSError:
+                stamps.append((path, None, None))
+        return tuple(stamps)
+
+    def _reload_loop(self) -> None:
+        last = self._checkpoint_stamp()
+        while not self._stopping.is_set():
+            time.sleep(self.config.reload_poll_s)
+            current = self._checkpoint_stamp()
+            if current == last:
+                continue
+            try:
+                self.runtime.reload(self.runtime.config.checkpoints)
+            except Exception as exc:  # noqa: BLE001 - keep the old model
+                self.counters.inc("reload_failed")
+                append_event(self.journal_root, "reload_failed",
+                             detail=f"{type(exc).__name__}: {exc}")
+            else:
+                self.counters.inc("reloads")
+                append_event(self.journal_root, "reload",
+                             checkpoints=list(
+                                 self.runtime.config.checkpoints))
+            last = current

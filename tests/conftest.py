@@ -47,6 +47,17 @@ def mesh3():
     return PLATFORM2.mesh(3)
 
 
+@pytest.fixture(scope="session")
+def serving_runtime():
+    """One loaded serving runtime shared by the daemon tests (a real
+    startup build: profiled corpus, fitted 1-member ensemble, calibrated
+    analytical estimator)."""
+    from repro.serving import PredictorRuntime, RuntimeConfig
+
+    return PredictorRuntime.build(RuntimeConfig(
+        layers=2, units=3, sample_fraction=0.6, epochs=2, seed=0))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)

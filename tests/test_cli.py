@@ -15,9 +15,25 @@ class TestParser:
                      ["search", "--schedule", "interleaved"],
                      ["bench", "table5", "--jobs", "2"],
                      ["bench", "schedules", "--family", "vit",
-                      "--schedule", "2bp"]):
+                      "--schedule", "2bp"],
+                     ["bench", "serve", "--quick", "--clients", "4",
+                      "--port", "7713"],
+                     ["serve", "--port", "0", "--checkpoint", "a.npz",
+                      "--checkpoint", "b.npz", "--reload-poll", "5"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_serve_defaults(self):
+        args = make_parser().parse_args(["serve"])
+        assert args.port == 7713 and args.checkpoint == []
+        assert args.workers == 2 and args.reload_poll == 0.0
+
+    def test_exit_code_constants(self):
+        from repro.cli import (EXIT_DEGRADED, EXIT_ERROR, EXIT_OK,
+                               EXIT_PARTIAL)
+
+        assert (EXIT_OK, EXIT_ERROR, EXIT_PARTIAL, EXIT_DEGRADED) == \
+            (0, 1, 2, 3)
 
     def test_bench_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
@@ -45,6 +61,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "platform1" in out
         assert "gpt3-1.3b" in out
+
+    def test_info_lists_serving_endpoints_and_fault_sites(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "serving endpoints" in out
+        for op in ("predict_many", "whatif", "search", "health"):
+            assert f"\n  {op}: " in out
+        assert "fault-injection sites" in out
+        for site in ("conn_drop", "slow_client", "request_garbage",
+                     "worker_crash"):
+            assert f"\n  {site}: " in out
+        assert "exit codes:" in out
 
     def test_profile_runs(self, capsys):
         rc = main(["profile", "--family", "gpt", "--layers", "2",

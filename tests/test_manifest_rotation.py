@@ -1,0 +1,89 @@
+"""Manifest journal rotation: size-based keep-N generations, continuous
+reads across rotations, and the breaker section of the summary."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import manifest
+
+
+def fill(root, n, start=0, payload=160):
+    for i in range(start, start + n):
+        manifest.append_event(root, "tick", seq=i, pad="x" * payload)
+
+
+class TestRotation:
+    def test_no_rotation_below_threshold(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_MAX_BYTES", str(1 << 20))
+        fill(tmp_path, 20)
+        assert manifest.rotated_paths(tmp_path) == [
+            manifest.manifest_path(tmp_path)]
+
+    def test_rotates_past_threshold_and_reads_continuously(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_MAX_BYTES", "4096")
+        monkeypatch.setenv("REPRO_MANIFEST_KEEP", "5")
+        fill(tmp_path, 120)
+        paths = manifest.rotated_paths(tmp_path)
+        assert len(paths) > 1, "the journal must have rotated"
+        assert paths[-1] == manifest.manifest_path(tmp_path)
+        # every generation is valid JSONL
+        for p in paths:
+            for line in p.read_text().splitlines():
+                json.loads(line)
+        # readers see one continuous, ordered history
+        seqs = [e["seq"] for e in manifest.read_events(tmp_path)
+                if e["event"] == "tick"]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+        assert seqs[-1] == 119
+
+    def test_keep_n_drops_the_oldest_generation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_MAX_BYTES", "4096")
+        monkeypatch.setenv("REPRO_MANIFEST_KEEP", "2")
+        fill(tmp_path, 400)
+        live = manifest.manifest_path(tmp_path)
+        generations = sorted(live.parent.glob(f"{live.name}*"))
+        assert len(generations) <= 3  # live + .1 + .2, never more
+        seqs = [e["seq"] for e in manifest.read_events(tmp_path)
+                if e["event"] == "tick"]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 399
+        assert seqs[0] > 0, "the oldest generation must have been dropped"
+
+    def test_rotation_threshold_has_a_sane_floor(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_MAX_BYTES", "1")
+        fill(tmp_path, 10, payload=8)
+        # a 1-byte threshold is clamped, not honored literally: the live
+        # journal still accumulates lines instead of rotating per event
+        assert manifest.manifest_path(tmp_path).read_text().count("\n") > 1
+
+    def test_bad_env_values_fall_back_to_defaults(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_MAX_BYTES", "not-a-number")
+        fill(tmp_path, 5)
+        assert len(manifest.read_events(tmp_path)) == 5
+
+
+class TestSummary:
+    def test_summary_reports_breaker_transitions(self, tmp_path):
+        manifest.append_event(tmp_path, "breaker", route="predict",
+                              **{"from": "closed"}, to="open",
+                              reason="5 failures in window of 6")
+        manifest.append_event(tmp_path, "breaker", route="predict",
+                              **{"from": "open"}, to="half_open",
+                              reason="cooldown elapsed")
+        text = manifest.summarize(manifest.read_events(tmp_path))
+        assert "circuit-breaker transitions" in text
+        assert "closed → open" in text
+        assert "5 failures" in text
+
+    def test_summary_spans_rotations(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_MAX_BYTES", "4096")
+        fill(tmp_path, 120)
+        manifest.append_event(tmp_path, "breaker", route="search",
+                              **{"from": "closed"}, to="open", reason="x")
+        text = manifest.summarize(manifest.read_events(tmp_path))
+        assert "tick" in text and "breaker" in text

@@ -1,0 +1,64 @@
+"""Serve bench harness: a tiny fleet against an external daemon, clean
+and under the canonical chaos plan — zero unanswered requests, always."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.servebench import run_serve_bench
+from repro.serving import ReproServer, ServerConfig
+
+#: the chaos plan CI's serve-smoke job also runs (pinned seeds verified
+#: to fire every client-side site at these fleet sizes)
+CHAOS = ("worker_crash:p=0.3,seed=5;conn_drop:p=0.08,seed=1;"
+         "request_garbage:p=0.1,seed=7;slow_client:p=0.05,seed=3")
+
+
+@pytest.fixture(scope="module")
+def daemon(serving_runtime):
+    srv = ReproServer(serving_runtime, ServerConfig(
+        port=0, workers=2, read_timeout_s=0.5))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestServeBench:
+    def test_clean_fleet_all_answered(self, daemon):
+        result = run_serve_bench(quick=True, address=daemon.address,
+                                 clients=3, requests_per_client=6)
+        assert result["schema"].startswith("predtop.bench_serve/")
+        assert result["requests_sent"] == 18
+        assert result["zero_unanswered"]
+        assert result["totals"]["unanswered"] == 0
+        assert result["answered"] + result["totals"]["shed_final"] >= 18 - (
+            result["totals"]["conn_drops"])
+        assert result["totals"]["ok"] > 0
+        assert "predict" in result["latency"]
+        stats = result["latency"]["predict"]
+        assert 0 < stats["p50_ms"] <= stats["p99_ms"]
+        assert result["server_health"]["status"] == "ready"
+
+    def test_chaos_fleet_all_answered(self, daemon, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", CHAOS)
+        result = run_serve_bench(quick=True, address=daemon.address,
+                                 clients=4, requests_per_client=12)
+        t = result["totals"]
+        assert result["zero_unanswered"], t
+        # the pinned seeds make every misbehaving-client site fire
+        assert t["garbage_sent"] > 0
+        assert t["conn_drops"] > 0
+        assert t["slow_loris"] > 0
+        assert t["ok"] > 0
+        assert result["error_responses"].get("invalid_request", 0) > 0
+        assert result["faults"] == CHAOS
+
+    def test_replay_is_deterministic_traffic(self, daemon):
+        a = run_serve_bench(quick=True, address=daemon.address,
+                            clients=2, requests_per_client=5)
+        b = run_serve_bench(quick=True, address=daemon.address,
+                            clients=2, requests_per_client=5)
+        # same fleet, same seeds: identical op mixes and tallies
+        assert {op: s["n"] for op, s in a["latency"].items()} == \
+               {op: s["n"] for op, s in b["latency"].items()}
+        assert a["totals"]["ok"] == b["totals"]["ok"]

@@ -1,0 +1,112 @@
+"""Wire protocol: parsing, validation, response shapes."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving.protocol import (MAX_DEADLINE_MS, OP_SUMMARIES, OPS,
+                                    ProtocolError, encode_response,
+                                    error_response, ok_response,
+                                    parse_request)
+
+
+class TestParse:
+    def test_minimal_request(self):
+        req = parse_request('{"op": "health"}')
+        assert req.op == "health"
+        assert req.id is None
+        assert req.params == {}
+        assert req.remaining() > 0
+
+    def test_full_request_echoes_id(self):
+        req = parse_request(json.dumps({
+            "op": "predict", "id": "c3-17", "deadline_ms": 500,
+            "params": {"slice": [0, 2]}}))
+        assert req.id == "c3-17"
+        assert req.deadline_ms == 500.0
+        assert req.params == {"slice": [0, 2]}
+
+    def test_accepts_bytes(self):
+        assert parse_request(b'{"op": "health"}').op == "health"
+
+    def test_deadline_clamped_to_ceiling(self):
+        req = parse_request('{"op": "health", "deadline_ms": 1e12}')
+        assert req.deadline_ms == MAX_DEADLINE_MS
+
+    def test_deadline_floor_is_one_ms(self):
+        assert parse_request(
+            '{"op": "health", "deadline_ms": -5}').deadline_ms == 1.0
+
+    def test_null_params_means_empty(self):
+        assert parse_request('{"op": "health", "params": null}').params == {}
+
+    @pytest.mark.parametrize("line,code", [
+        (b"\x80\x81 not utf8", "invalid_request"),
+        ("{not json", "invalid_request"),
+        ("[1, 2]", "invalid_request"),
+        ('{"no": "op"}', "invalid_request"),
+        ('{"op": 17}', "invalid_request"),
+        ('{"op": "explode"}', "unknown_op"),
+        ('{"op": "predict", "params": "nope"}', "bad_params"),
+        ('{"op": "predict", "deadline_ms": "soon"}', "invalid_request"),
+        ('{"op": "predict", "deadline_ms": true}', "invalid_request"),
+    ])
+    def test_malformed_requests_get_typed_errors(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(line)
+        assert err.value.code == code
+
+    def test_rejections_keep_the_request_id(self):
+        # a pipelined client must be able to correlate even rejections
+        with pytest.raises(ProtocolError) as err:
+            parse_request('{"op": "explode", "id": 41}')
+        assert err.value.code == "unknown_op" and err.value.req_id == 41
+        with pytest.raises(ProtocolError) as err:
+            parse_request('{"op": "predict", "id": "c7", "params": 3}')
+        assert err.value.req_id == "c7"
+        with pytest.raises(ProtocolError) as err:
+            parse_request("{not json")  # no id extractable
+        assert err.value.req_id is None
+
+    def test_expiry_is_monotonic(self):
+        req = parse_request('{"op": "health", "deadline_ms": 1}')
+        assert not req.remaining(now=req.received) <= 0
+        time.sleep(0.005)
+        assert req.expired
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        req = parse_request('{"op": "predict", "id": 7}')
+        resp = ok_response(req, {"latency_s": 0.1}, degraded=True,
+                           served_by="analytical")
+        assert resp["ok"] and resp["id"] == 7 and resp["degraded"]
+        assert resp["served_by"] == "analytical"
+        assert resp["t_ms"] >= 0
+        assert resp["result"] == {"latency_s": 0.1}
+
+    def test_error_response_carries_retry_hint(self):
+        resp = error_response("x", "overloaded", "queue full",
+                              retry_after_ms=33.333)
+        assert not resp["ok"]
+        assert resp["error"]["code"] == "overloaded"
+        assert resp["retry_after_ms"] == 33.3
+
+    def test_encode_is_one_json_line(self):
+        wire = encode_response(error_response(None, "internal", "boom"))
+        assert wire.endswith(b"\n") and wire.count(b"\n") == 1
+        assert json.loads(wire)["error"]["code"] == "internal"
+
+    def test_encode_renders_numpy_scalars(self):
+        req = parse_request('{"op": "predict"}')
+        wire = encode_response(ok_response(req, {
+            "latency_s": np.float64(0.25), "n": np.int64(3)}))
+        result = json.loads(wire)["result"]
+        assert result == {"latency_s": 0.25, "n": 3}
+
+    def test_every_op_is_documented(self):
+        assert set(OP_SUMMARIES) == set(OPS)

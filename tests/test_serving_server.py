@@ -1,0 +1,301 @@
+"""Daemon end-to-end over real sockets: request routing, malformed and
+hostile clients, backpressure, drain, and in-place checkpoint reload."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments import manifest
+from repro.serving import ReproServer, ServerConfig
+
+
+class Client:
+    """A tiny line-oriented test client."""
+
+    def __init__(self, address, timeout=30.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.buf = b""
+
+    def send_raw(self, data: bytes):
+        self.sock.sendall(data)
+
+    def read(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def rpc(self, request: dict):
+        self.send_raw((json.dumps(request) + "\n").encode())
+        return self.read()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture(scope="module")
+def server(serving_runtime):
+    srv = ReproServer(serving_runtime, ServerConfig(
+        port=0, workers=2, read_timeout_s=0.5, idle_timeout_s=30.0))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = Client(server.address)
+    yield c
+    c.close()
+
+
+class TestRouting:
+    def test_health(self, client):
+        resp = client.rpc({"op": "health", "id": "h"})
+        assert resp["ok"] and resp["id"] == "h"
+        r = resp["result"]
+        assert r["status"] == "ready" and r["ready"] and r["live"]
+        assert set(r["breakers"]) == {"predict", "whatif", "search"}
+        assert r["queue"]["batch_capacity"] > 0
+
+    def test_predict(self, client):
+        resp = client.rpc({"op": "predict", "id": 1,
+                           "params": {"slice": [0, 2]}})
+        assert resp["ok"]
+        out = resp["result"]
+        assert out["latency_s"] > 0
+        assert out["bounds_s"][0] <= out["latency_s"] <= out["bounds_s"][1]
+
+    def test_predict_many_preserves_order(self, client):
+        resp = client.rpc({"op": "predict_many", "id": 2,
+                           "params": {"slices": [[0, 1], [0, 3], [1, 2]]}})
+        assert resp["ok"]
+        preds = resp["result"]["predictions"]
+        assert len(preds) == 3
+        # the full 3-unit model must cost at least its first unit
+        assert preds[1]["latency_s"] >= preds[0]["latency_s"]
+
+    def test_whatif(self, client):
+        resp = client.rpc({"op": "whatif", "id": 3,
+                           "params": {"n_stages": 2, "n_microbatches": 4}})
+        assert resp["ok"]
+        out = resp["result"]
+        assert out["n_stages"] == 2
+        assert out["best_schedule"] in out["iteration_latency_s"]
+
+    def test_search(self, client):
+        resp = client.rpc({"op": "search", "id": 4, "deadline_ms": 120_000,
+                           "params": {"stage_counts": [1, 2],
+                                      "n_microbatches": 4}})
+        assert resp["ok"]
+        out = resp["result"]
+        assert out["best"]["n_stages"] in (1, 2)
+        assert len(out["candidates"]) == 2
+        assert out["failed_candidates"] == 0 and not out["partial"]
+
+    def test_pipelined_requests_on_one_connection(self, client):
+        reqs = b"".join(
+            (json.dumps({"op": "predict", "id": i,
+                         "params": {"slice": [0, 1]}}) + "\n").encode()
+            for i in range(5))
+        client.send_raw(reqs)
+        ids = sorted(client.read()["id"] for _ in range(5))
+        assert ids == list(range(5))
+
+
+class TestHostileClients:
+    def test_garbage_line_gets_error_and_connection_survives(self, client):
+        client.send_raw(b"\x00\xffgarbage not json\n")
+        resp = client.read()
+        assert not resp["ok"]
+        assert resp["error"]["code"] == "invalid_request"
+        assert client.rpc({"op": "health"})["ok"]  # same connection
+
+    def test_unknown_op_and_bad_params_are_answered(self, client):
+        assert client.rpc({"op": "explode"})["error"]["code"] == "unknown_op"
+        resp = client.rpc({"op": "predict", "params": {"slice": [7, 99]}})
+        assert resp["error"]["code"] == "bad_params"
+        resp = client.rpc({"op": "whatif", "params": {"n_stages": 0}})
+        assert resp["error"]["code"] == "bad_params"
+
+    def test_oversized_request_is_refused(self, server):
+        c = Client(server.address)
+        try:
+            c.send_raw(b'{"op": "predict", "pad": "' + b"x" * (1 << 20))
+            resp = c.read()
+            assert resp is not None and not resp["ok"]
+            assert resp["error"]["code"] == "invalid_request"
+        finally:
+            c.close()
+
+    def test_slow_loris_is_reaped_with_an_answer(self, server):
+        c = Client(server.address)
+        try:
+            c.send_raw(b'{"op": "predict", "par')  # dribble, then stall
+            t0 = time.monotonic()
+            resp = c.read()
+            assert resp is not None and not resp["ok"]
+            assert resp["error"]["code"] == "invalid_request"
+            assert time.monotonic() - t0 < 10.0
+        finally:
+            c.close()
+
+    def test_conn_drop_mid_request_does_not_kill_the_server(self, server):
+        c = Client(server.address)
+        c.send_raw((json.dumps({"op": "predict",
+                                "params": {"slice": [0, 1]}}) + "\n").encode())
+        c.close()  # vanish before the answer
+        time.sleep(0.1)
+        c2 = Client(server.address)
+        try:
+            assert c2.rpc({"op": "health"})["ok"]
+        finally:
+            c2.close()
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_retry_hint_and_answers_everyone(
+            self, serving_runtime):
+        srv = ReproServer(serving_runtime, ServerConfig(
+            port=0, workers=1, max_queue=1, max_batch_queue=2,
+            max_batch=1, batch_window_ms=25.0, shed_trip=1000))
+        srv.start()
+        responses = []
+        lock = threading.Lock()
+
+        def one(i):
+            c = Client(srv.address)
+            try:
+                resp = c.rpc({"op": "predict", "id": i,
+                              "params": {"slice": [0, 1]}})
+                with lock:
+                    responses.append(resp)
+            finally:
+                c.close()
+
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(12)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(responses) == 12, "no request may go unanswered"
+            shed = [r for r in responses if not r["ok"]]
+            served = [r for r in responses if r["ok"]]
+            assert served, "some requests must get through"
+            for r in shed:
+                assert r["error"]["code"] == "overloaded"
+                assert r["retry_after_ms"] > 0
+        finally:
+            srv.stop()
+
+    def test_sustained_saturation_force_opens_the_predict_breaker(
+            self, serving_runtime):
+        srv = ReproServer(serving_runtime, ServerConfig(
+            port=0, workers=1, max_batch_queue=1, max_batch=1,
+            batch_window_ms=50.0, shed_trip=2))
+        srv.start()
+        try:
+            cs = [Client(srv.address) for _ in range(6)]
+            for i, c in enumerate(cs):
+                c.send_raw((json.dumps(
+                    {"op": "predict", "id": i,
+                     "params": {"slice": [0, 1]}}) + "\n").encode())
+            for c in cs:
+                assert c.read() is not None
+                c.close()
+            assert srv.counters.get("shed") >= 2
+            assert srv.breakers["predict"].state in ("open", "half_open",
+                                                     "closed")
+            assert any(t[1] == "open" and "saturated" in t[2]
+                       for t in srv.breakers["predict"].transitions)
+        finally:
+            srv.stop()
+
+
+class TestLifecycle:
+    def test_drain_refuses_new_work_but_health_still_answers(
+            self, serving_runtime):
+        srv = ReproServer(serving_runtime, ServerConfig(port=0, workers=1))
+        srv.start()
+        try:
+            srv.draining = True
+            c = Client(srv.address)
+            resp = c.rpc({"op": "predict", "params": {"slice": [0, 1]}})
+            assert resp["error"]["code"] == "draining"
+            assert resp["retry_after_ms"] > 0
+            health = c.rpc({"op": "health"})
+            assert health["ok"]
+            assert health["result"]["status"] == "draining"
+            c.close()
+        finally:
+            srv.stop()
+
+    def test_serve_forever_drains_on_request_stop(self, serving_runtime,
+                                                  tmp_path):
+        srv = ReproServer(serving_runtime, ServerConfig(port=0, workers=1),
+                          journal_root=tmp_path)
+        rc = []
+        t = threading.Thread(
+            target=lambda: rc.append(
+                srv.serve_forever(install_signals=False)))
+        t.start()
+        for _ in range(100):
+            if srv._started.is_set():
+                break
+            time.sleep(0.02)
+        c = Client(srv.address)
+        assert c.rpc({"op": "predict", "params": {"slice": [0, 1]}})["ok"]
+        c.close()
+        srv.request_stop()
+        t.join(timeout=30)
+        assert rc == [0]
+        events = [e["event"] for e in manifest.read_events(tmp_path)]
+        assert "serve_start" in events and "serve_ready" in events
+        assert "serve_drain" in events and "serve_stop" in events
+
+    def test_checkpoint_reload_in_place(self, serving_runtime, tmp_path):
+        from repro.predictors.serialize import save_predictor
+
+        path = save_predictor(serving_runtime.ensemble.members[0],
+                              tmp_path / "member.npz")
+        old_cfg = serving_runtime.config
+        serving_runtime.config = dataclasses.replace(
+            old_cfg, checkpoints=(str(path),))
+        srv = ReproServer(serving_runtime,
+                          ServerConfig(port=0, workers=1,
+                                       reload_poll_s=0.05),
+                          journal_root=tmp_path)
+        srv.start()
+        try:
+            before = serving_runtime.ensemble
+            time.sleep(0.1)
+            save_predictor(serving_runtime.ensemble.members[0], path)
+            deadline = time.monotonic() + 10
+            while (srv.counters.get("reloads") == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert srv.counters.get("reloads") >= 1
+            assert serving_runtime.ensemble is not before
+            c = Client(srv.address)
+            assert c.rpc({"op": "predict",
+                          "params": {"slice": [0, 1]}})["ok"]
+            c.close()
+            events = [e["event"] for e in manifest.read_events(tmp_path)]
+            assert "reload" in events
+        finally:
+            srv.stop()
+            serving_runtime.config = old_cfg
