@@ -225,9 +225,24 @@ def cmd_serve(args) -> int:
 
     from .experiments.cache import global_cache
     from .predictors.trust import TrustConfig
-    from .serving import (PredictorRuntime, ReproServer, RuntimeConfig,
-                          ServerConfig)
+    from .serving import (PredictorRuntime, ReproRouter, ReproServer,
+                          RouterConfig, RuntimeConfig, ServerConfig,
+                          TenancyConfig)
 
+    if args.router:
+        router = ReproRouter(
+            [(args.host, port) for port in args.router],
+            RouterConfig(host=args.host, port=args.port),
+            journal_root=global_cache().root)
+        router.start()
+        host, port = router.address
+        print(f"routing on {host}:{port} across "
+              f"{len(args.router)} replica(s) "
+              f"({', '.join(f'{args.host}:{p}' for p in args.router)}); "
+              f"SIGTERM/SIGINT drains gracefully")
+        return router.serve_forever()
+
+    tenancy = TenancyConfig.load(args.tenants) if args.tenants else None
     trust = dataclasses.replace(TrustConfig.from_env(), enabled=True,
                                 ensemble_size=max(1, args.ensemble))
     cfg = RuntimeConfig(
@@ -247,7 +262,8 @@ def cmd_serve(args) -> int:
         ServerConfig(host=args.host, port=args.port, workers=args.workers,
                      max_queue=args.max_queue,
                      default_deadline_ms=args.deadline_ms,
-                     reload_poll_s=args.reload_poll),
+                     reload_poll_s=args.reload_poll,
+                     tenancy=tenancy),
         journal_root=global_cache().root)
     server.start()
     host, port = server.address
@@ -286,12 +302,19 @@ def cmd_bench(args) -> int:
     if args.target == "serve":
         import json
 
-        from .perf import run_serve_bench
+        from .experiments.cache import global_cache
+        from .perf import run_noisy_neighbor_bench, run_serve_bench
 
+        journal_root = global_cache().root
         address = (args.host, args.port) if args.port else None
         result = run_serve_bench(quick=args.quick, address=address,
                                  clients=args.clients or None,
-                                 requests_per_client=args.requests or None)
+                                 requests_per_client=args.requests or None,
+                                 router_replicas=args.replicas,
+                                 journal_root=journal_root)
+        if address is None and not args.replicas and not args.no_noisy:
+            result["noisy_neighbor"] = run_noisy_neighbor_bench(
+                quick=args.quick, journal_root=journal_root)
         out = Path(args.output or Path(__file__).resolve().parents[2]
                    ) / "BENCH_serve.json"
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -307,7 +330,23 @@ def cmd_bench(args) -> int:
         for tr in result["breaker_transitions"]:
             print(f"  breaker {tr['route']}: {tr['from']} -> {tr['to']} "
                   f"({tr['reason']})")
-        if not result["zero_unanswered"] or t["ok"] == 0:
+        if "router" in result:
+            r = result["router"]
+            print(f"  router: {r['replicas']} replicas, "
+                  f"{r['failovers']} failover(s), chaos events: "
+                  f"{[e['event'] for e in r['chaos']]}")
+        noisy_ok = True
+        if "noisy_neighbor" in result:
+            n = result["noisy_neighbor"]
+            noisy_ok = bool(n["isolation_holds"])
+            print(f"  noisy neighbor: victim p99 "
+                  f"{n['solo']['victim_p99_ms']} ms solo, "
+                  f"{n['isolated']['victim_p99_ms']} ms isolated "
+                  f"(x{n['isolated_p99_ratio']}), "
+                  f"{n['unisolated']['victim_p99_ms']} ms unisolated "
+                  f"(x{n['unisolated_p99_ratio']}) — isolation "
+                  f"{'holds' if noisy_ok else 'VIOLATED'}")
+        if not result["zero_unanswered"] or t["ok"] == 0 or not noisy_ok:
             return EXIT_PARTIAL
         if t["ok_model"] == 0 and t["degraded"] > 0:
             return EXIT_DEGRADED
@@ -532,6 +571,16 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--reload-poll", type=float, default=0.0,
                    help="poll --checkpoint files every N seconds and "
                         "hot-reload in place (0 = off)")
+    p.add_argument("--tenants", default="",
+                   help="tenants.json with per-tenant budgets (rate, "
+                        "burst, max_inflight, max_queued, weight, "
+                        "op_costs); default: REPRO_TENANT_* env defaults, "
+                        "unlimited when unset")
+    p.add_argument("--router", type=int, nargs="+", default=[],
+                   metavar="PORT",
+                   help="run a consistent-hash failover router over the "
+                        "daemon replicas at these ports on --host instead "
+                        "of a daemon (no model is loaded)")
 
     p = sub.add_parser(
         "bench", help="regenerate experiment grids via the fault-tolerant "
@@ -562,6 +611,15 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=0,
                    help="serve target: requests per client "
                         "(0 = mode default)")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="serve target: boot N replicas behind a router "
+                        "and bench through it (0 = single daemon); a "
+                        "replica_down fault rule arms the chaos "
+                        "controller")
+    p.add_argument("--no-noisy", action="store_true",
+                   help="serve target: skip the noisy-neighbor isolation "
+                        "scenario (runs by default for in-process single-"
+                        "daemon benches)")
     p.add_argument("--family",
                    choices=("gpt", "moe", "bert", "vit", "both", "all"),
                    default="both",

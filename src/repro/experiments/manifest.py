@@ -183,4 +183,49 @@ def summarize(events: list[dict]) -> str:
             lines.append(f"  {e.get('route', '?'):<12s} "
                          f"{e.get('from', '?')} → {e.get('to', '?')}"
                          f" ({e.get('reason', '')})")
+    # ------------------------------------------------ tenancy & routing
+    limited = [e for e in events if e.get("event") == "rate_limited"]
+    snapshots = [e for e in events if e.get("event") == "tenancy"]
+    failovers = [e for e in events if e.get("event") == "failover"]
+    rep_health = [e for e in events if e.get("event") == "replica_health"]
+    if limited or snapshots or failovers or rep_health:
+        lines.append("serving tenancy / routing:")
+        if limited:
+            causes = Counter((e.get("tenant", "?"), e.get("cause", "?"))
+                             for e in limited)
+            for (tenant, cause) in sorted(causes):
+                lines.append(f"  rate-limited      {tenant} ({cause}, "
+                             f"first of run x{causes[(tenant, cause)]})")
+        if snapshots:
+            # the last snapshot per pid carries the closing counters
+            closing: dict[int, dict] = {}
+            for e in snapshots:
+                closing[e.get("pid", 0)] = e
+            merged = Counter()
+            for e in closing.values():
+                for tenant, stats in (e.get("tenants") or {}).items():
+                    for key in ("admitted", "rate_limited",
+                                "over_concurrency", "shed"):
+                        merged[(tenant, key)] += int(stats.get(key, 0))
+            for tenant in sorted({t for (t, _) in merged}):
+                lines.append(
+                    f"  tenant {tenant:<12s} "
+                    f"admitted {merged[(tenant, 'admitted')]}, "
+                    f"rate-limited {merged[(tenant, 'rate_limited')]}, "
+                    f"over-concurrency "
+                    f"{merged[(tenant, 'over_concurrency')]}, "
+                    f"shed {merged[(tenant, 'shed')]}")
+        if failovers:
+            lines.append(f"  failovers         {len(failovers)}")
+            for e in failovers[-10:]:
+                lines.append(f"    {e.get('op', '?')} "
+                             f"{e.get('from_replica', '?')} → "
+                             f"{e.get('to', '?')}")
+        if rep_health:
+            flips = Counter((e.get("replica", "?"), e.get("healthy"))
+                            for e in rep_health)
+            for (replica, healthy) in sorted(flips, key=lambda k: str(k)):
+                state = "up" if healthy else "down"
+                lines.append(f"  replica {replica:<14s} {state} "
+                             f"x{flips[(replica, healthy)]}")
     return "\n".join(lines)

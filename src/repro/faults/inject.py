@@ -25,7 +25,12 @@ Behaviors of :func:`fire`:
 * ``conn_drop`` / ``slow_client`` / ``request_garbage`` — decision-only
   sites consulted by the serving load generator
   (:mod:`repro.perf.servebench`): the *client* misbehaves per the plan
-  and the daemon must absorb it.
+  and the daemon must absorb it;
+* ``replica_down`` / ``replica_slow`` — decision-only sites for router
+  fleets: the bench's chaos controller kills/restarts the replica at
+  the plan's request index, and a gray replica
+  (:class:`~repro.serving.server.ReproServer` consulting its
+  ``replica_ordinal``) stalls requests while health stays fast.
 
 Plans are parsed once per distinct ``REPRO_FAULTS`` value and decisions
 are pure functions of ``(rule, index, attempt)``, so parent, forked

@@ -30,7 +30,15 @@ Sites (where the harness consults the plan):
                    exercising per-connection read deadlines;
 ``request_garbage``  a serving-bench client sends a malformed payload
                    instead of JSON, exercising the protocol layer's
-                   error responses.
+                   error responses;
+``replica_down``   the serving-bench chaos controller hard-kills one
+                   router replica at request index ``at`` and restarts
+                   it later (the router must fail the traffic over with
+                   zero unanswered requests);
+``replica_slow``   a router replica (``at`` = replica ordinal) turns
+                   gray: health answers stay fast but every real
+                   request stalls ``secs``, so the router must fail
+                   over on the request deadline, not the health check.
 
 Common parameters:
 
@@ -44,7 +52,8 @@ Common parameters:
 ``p``         firing probability in [0, 1], decided by a deterministic
               hash of ``(seed, site, index, attempt)`` (default 1);
 ``seed``      integer feeding that hash (default 0);
-``secs``      ``cell_hang`` only: how long the hang sleeps.
+``secs``      ``cell_hang`` / ``replica_slow``: how long the hang or
+              per-request stall sleeps.
 
 Every decision is a pure function of the rule and the ``(index,
 attempt)`` coordinates — no wall clock, no shared counters — so a chaos
@@ -58,7 +67,8 @@ from dataclasses import dataclass, field
 
 SITES = ("worker_crash", "cell_hang", "io_error", "shard_corrupt",
          "train_diverge", "predict_garbage", "predictor_error",
-         "conn_drop", "slow_client", "request_garbage")
+         "conn_drop", "slow_client", "request_garbage",
+         "replica_down", "replica_slow")
 
 #: one-line description per site (``repro info`` lists these)
 SITE_SUMMARIES = {
@@ -72,6 +82,8 @@ SITE_SUMMARIES = {
     "conn_drop": "a serving client drops its connection mid-request",
     "slow_client": "a serving client dribbles bytes (slow-loris)",
     "request_garbage": "a serving client sends a malformed payload",
+    "replica_down": "a router replica is hard-killed mid-run, then restarted",
+    "replica_slow": "a replica turns gray: fast health, stalled requests",
 }
 
 #: exit status an injected worker crash dies with (visible in manifests)

@@ -14,9 +14,9 @@ against the serving daemon (chaos-aware via ``REPRO_FAULTS``) and emits
 
 from .timing import PerfRecorder, TimingStats, percentile
 from .microbench import run_intraop_microbench
-from .servebench import run_serve_bench
+from .servebench import run_noisy_neighbor_bench, run_serve_bench
 from .trainbench import run_train_microbench
 
 __all__ = ["PerfRecorder", "TimingStats", "percentile",
-           "run_intraop_microbench", "run_serve_bench",
-           "run_train_microbench"]
+           "run_intraop_microbench", "run_noisy_neighbor_bench",
+           "run_serve_bench", "run_train_microbench"]

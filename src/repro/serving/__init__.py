@@ -4,23 +4,34 @@ The package layers, bottom up:
 
 * :mod:`.protocol` — the JSON-lines wire format and its validation;
 * :mod:`.breaker` — per-route circuit breakers over the trust layer;
+* :mod:`.tenancy` — per-tenant admission budgets and fair queueing;
 * :mod:`.runtime` — the loaded-once predictor state every thread shares;
 * :mod:`.batcher` — the micro-batcher coalescing predictions;
-* :mod:`.server` — admission control, deadlines, lifecycle, the socket.
+* :mod:`.server` — admission control, deadlines, lifecycle, the socket;
+* :mod:`.router` — the consistent-hash failover front-end over replicas.
 """
 
 from .breaker import BreakerConfig, CircuitBreaker
 from .protocol import (ERROR_CODES, MAX_LINE_BYTES, OP_SUMMARIES, OPS,
-                       ProtocolError, Request, encode_response,
-                       error_response, ok_response, parse_request)
+                       PROTOCOL_VERSION, ProtocolError, Request,
+                       encode_response, error_response, ok_response,
+                       parse_request)
+from .router import HashRing, ReproRouter, RouterConfig, request_hash
 from .runtime import PredictorRuntime, RuntimeConfig
 from .server import ReproServer, ServerConfig
+from .tenancy import (DEFAULT_TENANT, AdmissionController, FairQueue,
+                      TenancyConfig, TenantPolicy, TokenBucket,
+                      jittered_retry_ms)
 
 __all__ = [
     "BreakerConfig", "CircuitBreaker",
     "ERROR_CODES", "MAX_LINE_BYTES", "OP_SUMMARIES", "OPS",
+    "PROTOCOL_VERSION",
     "ProtocolError", "Request", "encode_response", "error_response",
     "ok_response", "parse_request",
+    "HashRing", "ReproRouter", "RouterConfig", "request_hash",
     "PredictorRuntime", "RuntimeConfig",
     "ReproServer", "ServerConfig",
+    "DEFAULT_TENANT", "AdmissionController", "FairQueue",
+    "TenancyConfig", "TenantPolicy", "TokenBucket", "jittered_retry_ms",
 ]

@@ -9,8 +9,12 @@ answers the whole batch from a single guarded model call.
 
 Robustness contract:
 
-* the queue is **bounded** — a full queue rejects the submit and the
-  server sheds the request with ``retry_after`` (never a silent drop);
+* the queue is **bounded and fair** — a full queue (globally, or one
+  tenant's ``max_queued`` lane cap) rejects the submit and the server
+  sheds the request with ``retry_after`` (never a silent drop); across
+  tenants the queue serves deficit-weighted round-robin
+  (:class:`~repro.serving.tenancy.FairQueue`), so one tenant's backlog
+  cannot delay another tenant's single request past one round;
 * every dequeued request is **always answered** — expired ones with
   ``deadline_exceeded``, the rest from the model path, the analytical
   path (breaker open), or the analytical path again when the model call
@@ -21,7 +25,6 @@ Robustness contract:
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -30,6 +33,7 @@ from typing import Any, Callable
 from .breaker import CircuitBreaker
 from .protocol import Request, error_response, ok_response
 from .runtime import PredictorRuntime
+from .tenancy import FairQueue
 
 
 @dataclass
@@ -63,13 +67,16 @@ class MicroBatcher:
         window_ms: float = 4.0,
         max_queue: int = 256,
         on_batch: Callable[[int, str], None] | None = None,
+        weight_of: Callable[[str], int] | None = None,
+        max_queued_of: Callable[[str], int] | None = None,
     ) -> None:
         self.runtime = runtime
         self.breaker = breaker
         self.max_batch = max(1, max_batch)
         self.window_s = max(0.0, window_ms) / 1000.0
-        self._queue: queue.Queue[_Pending | None] = queue.Queue(
-            maxsize=max(1, max_queue))
+        self._queue: FairQueue = FairQueue(
+            max(1, max_queue), weight_of=weight_of,
+            max_queued_of=max_queued_of)
         #: observability hook: (batch size, served_by) per executed batch
         self._on_batch = on_batch
         self.batches = 0
@@ -86,34 +93,28 @@ class MicroBatcher:
     def stop(self, drain_timeout: float = 10.0) -> None:
         """Stop after answering everything already queued."""
         self._stopped.set()
-        try:
-            self._queue.put_nowait(None)
-        except queue.Full:
-            pass
+        self._queue.close()
         self._thread.join(timeout=drain_timeout)
 
     @property
     def depth(self) -> int:
         return self._queue.qsize()
 
+    def depths(self) -> dict[str, int]:
+        """Per-tenant queue depths (health endpoint / journal)."""
+        return self._queue.depths()
+
     # ------------------------------------------------------------ admission
     def submit(self, pending: _Pending) -> bool:
         """Enqueue one prediction; ``False`` = full, caller must shed."""
         if self._stopped.is_set():
             return False
-        try:
-            self._queue.put_nowait(pending)
-        except queue.Full:
-            return False
-        return True
+        return self._queue.put_nowait(pending.request.tenant, pending)
 
     # ------------------------------------------------------------- the loop
     def _collect(self) -> list[_Pending]:
         """Block for one item, then coalesce stragglers for a window."""
-        try:
-            first = self._queue.get(timeout=0.25)
-        except queue.Empty:
-            return []
+        first = self._queue.get(timeout=0.25)
         if first is None:
             return []
         batch = [first]
@@ -123,10 +124,7 @@ class MicroBatcher:
             wait = deadline - time.monotonic()
             if wait <= 0:
                 break
-            try:
-                item = self._queue.get(timeout=wait)
-            except queue.Empty:
-                break
+            item = self._queue.get(timeout=wait)
             if item is None:
                 break
             batch.append(item)
@@ -139,15 +137,13 @@ class MicroBatcher:
             if not batch:
                 continue
             self._execute(batch)
-        # answer anything that raced the sentinel
+        # answer anything that raced the close
         leftovers = []
         while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
+            item = self._queue.get_nowait()
+            if item is None:
                 break
-            if item is not None:
-                leftovers.append(item)
+            leftovers.append(item)
         if leftovers:
             self._execute(leftovers)
 

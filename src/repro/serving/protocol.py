@@ -1,13 +1,17 @@
-"""JSON-lines wire protocol of the PredTOP serving daemon.
+"""JSON-lines wire protocol of the PredTOP serving daemon (v2).
 
 One request per line, one response per line, UTF-8 JSON.  Requests::
 
     {"id": "c3-17", "op": "predict", "deadline_ms": 500,
-     "params": {"slice": [0, 2]}}
+     "tenant": "team-a", "params": {"slice": [0, 2]}}
 
-``op`` is required; ``id`` (echoed back verbatim) and ``deadline_ms``
-are optional.  Responses are correlated by ``id`` — the daemon may
-answer pipelined requests out of order.  Success::
+``op`` is required; ``id`` (echoed back verbatim), ``deadline_ms``, and
+``tenant`` are optional.  ``tenant`` is v2's only addition: the client
+identity admission control budgets against.  An absent (or empty)
+tenant means the ``"default"`` class, so v1 clients keep working
+unchanged; an *unknown* tenant name is not an error — it is budgeted
+under the default policy.  Responses are correlated by ``id`` — the
+daemon may answer pipelined requests out of order.  Success::
 
     {"id": "c3-17", "ok": true, "op": "predict", "degraded": false,
      "served_by": "model", "t_ms": 3.1, "result": {...}}
@@ -25,6 +29,8 @@ correct physically-bounded estimate, just not a learned one.
 Error codes (:data:`ERROR_CODES`): ``invalid_request`` (not JSON / not
 an object / bad field types), ``unknown_op``, ``bad_params``,
 ``overloaded`` (load shed — carries ``retry_after_ms``),
+``rate_limited`` (the tenant is over its token-bucket or
+concurrent-work budget — carries ``retry_after_ms``),
 ``deadline_exceeded``, ``draining`` (graceful shutdown in progress —
 carries ``retry_after_ms``), and ``internal``.
 """
@@ -35,6 +41,11 @@ import json
 import time
 from dataclasses import dataclass, field
 from typing import Any
+
+from .tenancy import DEFAULT_TENANT, TENANT_NAME_MAX
+
+#: wire-protocol revision (v2 added ``tenant``); served under ``health``
+PROTOCOL_VERSION = 2
 
 #: operations the daemon answers
 OPS = ("predict", "predict_many", "whatif", "search", "health")
@@ -49,7 +60,7 @@ OP_SUMMARIES = {
 }
 
 ERROR_CODES = ("invalid_request", "unknown_op", "bad_params", "overloaded",
-               "deadline_exceeded", "draining", "internal")
+               "rate_limited", "deadline_exceeded", "draining", "internal")
 
 #: hard cap on one request line (a 1 MiB graph is already enormous)
 MAX_LINE_BYTES = 1 << 20
@@ -82,6 +93,8 @@ class Request:
     id: Any = None
     params: dict[str, Any] = field(default_factory=dict)
     deadline_ms: float = 0.0
+    #: admission-control identity (v2; absent on the wire ⇒ "default")
+    tenant: str = DEFAULT_TENANT
     #: monotonic admission / expiry instants, stamped by the parser
     received: float = 0.0
     deadline: float = float("inf")
@@ -134,9 +147,20 @@ def parse_request(line: str | bytes,
         raise ProtocolError("invalid_request",
                             "'deadline_ms' must be a number", req_id)
     deadline_ms = min(max(1.0, float(deadline_ms)), MAX_DEADLINE_MS)
+    tenant = data.get("tenant", DEFAULT_TENANT)
+    if tenant is None:
+        tenant = DEFAULT_TENANT
+    if not isinstance(tenant, str):
+        raise ProtocolError("invalid_request",
+                            "'tenant' must be a string", req_id)
+    tenant = tenant.strip() or DEFAULT_TENANT
+    if len(tenant) > TENANT_NAME_MAX:
+        raise ProtocolError("invalid_request",
+                            f"'tenant' exceeds {TENANT_NAME_MAX} chars",
+                            req_id)
     now = time.monotonic()
     return Request(op=op, id=req_id, params=params,
-                   deadline_ms=deadline_ms, received=now,
+                   deadline_ms=deadline_ms, tenant=tenant, received=now,
                    deadline=now + deadline_ms / 1000.0)
 
 

@@ -36,7 +36,7 @@ from ..cluster.mesh import DeviceMesh, logical_views
 from ..cluster.platforms import MESH_CONFIGS, PLATFORMS, get_platform
 from ..core.sampling import stratified_sample
 from ..ir.graph import Graph
-from ..ir.serialize import graph_from_dict
+from ..ir.serialize import canonical_hash, graph_from_dict
 from ..models.clustering import Clustering, cluster_layers
 from ..models.configs import BENCHMARKS, benchmark_config
 from ..models.model import build_model
@@ -106,6 +106,10 @@ class PredictorRuntime:
         self.config = config
         self.model_lock = threading.RLock()
         self._model_calls = 0
+        #: bumped on every ensemble reload; cache keys embed it so a
+        #: hot-swapped model invalidates cached search answers for free
+        self.generation = 0
+        self._structural_hash: str | None = None
 
     # --------------------------------------------------------------- build
     @classmethod
@@ -349,6 +353,24 @@ class PredictorRuntime:
                 f"[1, {self.clustering.n_units}]")
         return sorted(set(counts))
 
+    def structural_hash(self) -> str:
+        """Canonical hash of the full-model predictor graph — the same
+        structural identity ``plan_cache`` keys on — memoized because
+        the loaded model never changes shape in-process."""
+        if self._structural_hash is None:
+            s, e = self.clustering.slice_range(0, self.clustering.n_units)
+            graph = self.profiler.predictor_graph(s, e)
+            self._structural_hash = canonical_hash(graph)
+        return self._structural_hash
+
+    def search_key(self, candidates: list[int], n_micro: int,
+                   schedule: str) -> tuple:
+        """Cache key identifying one search answer: structural graph
+        hash + mesh + schedule + the exact candidate set, stamped with
+        the ensemble generation (a reload invalidates every entry)."""
+        return (self.structural_hash(), self.mesh.key(), schedule,
+                tuple(candidates), n_micro, self.generation)
+
     def search_schedule(self, params: dict) -> str:
         schedule = params.get("schedule", self.config.schedule)
         if schedule not in schedule_names():
@@ -392,3 +414,4 @@ class PredictorRuntime:
         fresh = EnsemblePredictor.from_members(members, stats)
         with self.model_lock:
             self.ensemble = fresh
+            self.generation += 1

@@ -34,20 +34,27 @@ connection survives.
 from __future__ import annotations
 
 import os
-import queue
 import signal
 import socket
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..experiments.manifest import append_event
 from .batcher import MicroBatcher, _Pending
 from .breaker import BreakerConfig, CircuitBreaker
-from .protocol import (MAX_LINE_BYTES, ProtocolError, Request,
-                       encode_response, error_response, ok_response,
+from .protocol import (MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
+                       Request, encode_response, error_response, ok_response,
                        parse_request)
 from .runtime import PredictorRuntime
+from .tenancy import (AdmissionController, FairQueue, TenancyConfig,
+                      jittered_retry_ms)
+
+#: cached search answers kept per daemon (small: one entry per distinct
+#: (model, mesh, schedule, candidate-set) a client keeps re-asking about)
+SEARCH_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,12 @@ class ServerConfig:
     #: supervised retries per search candidate
     search_retries: int = 1
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: per-tenant budgets (None = REPRO_TENANT_* env defaults, which are
+    #: unlimited when unset — the v1 single-tenant daemon's behavior)
+    tenancy: TenancyConfig | None = None
+    #: this daemon's position in a router fleet (fault site
+    #: ``replica_slow`` keys on it; 0 for a standalone daemon)
+    replica_ordinal: int = 0
 
 
 class Counters:
@@ -132,14 +145,24 @@ class ReproServer:
                                   journal_root=journal_root)
             for route in ("predict", "whatif", "search")
         }
+        tenancy = (self.config.tenancy if self.config.tenancy is not None
+                   else TenancyConfig.from_env())
+        self.admission = AdmissionController(tenancy,
+                                             journal_root=journal_root)
         self.batcher = MicroBatcher(
             runtime, self.breakers["predict"],
             max_batch=self.config.max_batch,
             window_ms=self.config.batch_window_ms,
             max_queue=self.config.max_batch_queue,
-            on_batch=self._on_batch)
-        self._exec_queue: queue.Queue[_Job | None] = queue.Queue(
-            maxsize=max(1, self.config.max_queue))
+            on_batch=self._on_batch,
+            weight_of=tenancy.weight_of,
+            max_queued_of=tenancy.max_queued_of)
+        self._exec_queue: FairQueue = FairQueue(
+            max(1, self.config.max_queue),
+            weight_of=tenancy.weight_of,
+            max_queued_of=tenancy.max_queued_of)
+        self._search_cache: OrderedDict[tuple, dict] = OrderedDict()
+        self._search_cache_lock = threading.Lock()
         self._listen: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conns: set[socket.socket] = set()
@@ -232,11 +255,7 @@ class ReproServer:
                 break
             time.sleep(0.05)
         self.batcher.stop()
-        for _ in self._threads:
-            try:
-                self._exec_queue.put_nowait(None)
-            except queue.Full:
-                break
+        self._exec_queue.close()
         self._stopped.set()
         if self._listen is not None:
             try:
@@ -250,9 +269,33 @@ class ReproServer:
                 conn.close()
             except OSError:
                 pass
+        self.admission.journal_snapshot(self._queue_depths())
         append_event(self.journal_root, "serve_stop",
                      uptime_s=round(time.monotonic() - self._t0, 3),
                      counters=self.counters.snapshot())
+
+    def kill(self) -> None:
+        """Hard stop *without* drain — the in-process stand-in for a
+        replica crash (``replica_down`` chaos): the listener and every
+        live connection drop mid-flight, exactly what the router's
+        failover path must absorb."""
+        self._stopping.set()
+        self._stopped.set()
+        if self._listen is not None:
+            try:
+                self._listen.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._exec_queue.close()
+        self.batcher.stop(drain_timeout=1.0)
 
     def serve_forever(self, install_signals: bool = True) -> int:
         """Run until SIGTERM/SIGINT (or :meth:`request_stop`), drain,
@@ -382,8 +425,24 @@ class ReproServer:
             self.counters.inc("refused_draining")
             self._send(conn, error_response(
                 req.id, "draining", "server is draining for shutdown",
-                retry_after_ms=1000.0))
+                retry_after_ms=jittered_retry_ms(
+                    1000.0, "draining", req.tenant, req.id,
+                    self.counters.get("refused_draining"))))
             return
+        retry = self.admission.admit(req.tenant, req.op, req.id)
+        if retry is not None:
+            self.counters.inc("rate_limited")
+            self._send(conn, error_response(
+                req.id, "rate_limited",
+                f"tenant {req.tenant!r} is over budget",
+                retry_after_ms=retry))
+            return
+        # gray-failure chaos: this replica answers health fast but
+        # serves real work slowly (the router must fail over on the
+        # request deadline, not the health check)
+        slow = faults.check("replica_slow", self.config.replica_ordinal)
+        if slow is not None:
+            time.sleep(min(slow.secs, max(0.0, req.remaining()) + 0.1))
         self._enter()
         try:
             response = self._dispatch(req)
@@ -396,6 +455,7 @@ class ReproServer:
                                       f"{type(exc).__name__}: {exc}")
         finally:
             self._exit()
+            self.admission.release(req.tenant)
         self.counters.inc("answered")
         if not response.get("ok"):
             self.counters.inc("errors_answered")
@@ -410,6 +470,7 @@ class ReproServer:
     def _shed(self, req: Request, where: str, depth: int,
               capacity: int) -> dict:
         self.counters.inc("shed")
+        self.admission.record_shed(req.tenant)
         self._consecutive_sheds += 1
         if (self._consecutive_sheds >= self.config.shed_trip
                 and self.breakers["predict"].state == "closed"):
@@ -420,7 +481,9 @@ class ReproServer:
                 f"sheds)")
         return error_response(
             req.id, "overloaded", f"{where} queue full",
-            retry_after_ms=self._retry_after(depth, capacity))
+            retry_after_ms=jittered_retry_ms(
+                self._retry_after(depth, capacity), "shed", where,
+                req.tenant, req.id, self.counters.get("shed")))
 
     def _dispatch(self, req: Request) -> dict:
         if req.expired:
@@ -442,11 +505,9 @@ class ReproServer:
             if not response.get("ok"):
                 self.counters.inc("deadline_exceeded")
             return response
-        # whatif / search go through the bounded executor
+        # whatif / search go through the bounded fair executor queue
         job = _Job(req)
-        try:
-            self._exec_queue.put_nowait(job)
-        except queue.Full:
+        if not self._exec_queue.put_nowait(req.tenant, job):
             return self._shed(req, "executor", self._exec_queue.qsize(),
                               self.config.max_queue)
         self._consecutive_sheds = 0
@@ -459,14 +520,11 @@ class ReproServer:
     # -------------------------------------------------------------- executor
     def _executor_loop(self) -> None:
         while True:
-            try:
-                job = self._exec_queue.get(timeout=0.25)
-            except queue.Empty:
+            job = self._exec_queue.get(timeout=0.25)
+            if job is None:
                 if self._stopped.is_set():
                     return
                 continue
-            if job is None:
-                return
             req = job.request
             try:
                 if req.expired:
@@ -512,6 +570,19 @@ class ReproServer:
         candidates = self.runtime.search_candidates(req.params)
         schedule = self.runtime.search_schedule(req.params)
         n_micro = self.runtime._int_param(req.params, "n_microbatches", 8, 1)
+        # repeated what-if searches are common (dashboards, sweeps
+        # re-asking the same question); the structural key makes them
+        # O(1) instead of a supervised fan-out
+        key = self.runtime.search_key(candidates, n_micro, schedule)
+        with self._search_cache_lock:
+            cached = self._search_cache.get(key)
+            if cached is not None:
+                self._search_cache.move_to_end(key)
+        if cached is not None:
+            self.counters.inc("search_cache_hits")
+            return ok_response(req, dict(cached["result"], cached=True),
+                               degraded=cached["degraded"],
+                               served_by=cached["served_by"])
         breaker = self.breakers["search"]
         use_model = breaker.allow_model()
 
@@ -560,14 +631,29 @@ class ReproServer:
                                     "deadline; analytical fallback")
         best = min(completed, key=lambda d: d["iteration_latency_s"])
         degraded = any(r["served_by"] != "model" for r in completed)
-        return ok_response(req, {
+        result = {
             "best": best, "candidates": completed, "schedule": schedule,
             "n_microbatches": n_micro, "partial": failed > 0,
             "failed_candidates": failed,
-        }, degraded=degraded,
-            served_by="model" if not degraded else "analytical")
+        }
+        served_by = "model" if not degraded else "analytical"
+        if failed == 0 and not degraded:
+            # only complete, undegraded answers are worth replaying; a
+            # reload bumps the runtime generation and thus the key
+            with self._search_cache_lock:
+                self._search_cache[key] = {"result": result,
+                                           "degraded": degraded,
+                                           "served_by": served_by}
+                while len(self._search_cache) > SEARCH_CACHE_SIZE:
+                    self._search_cache.popitem(last=False)
+        return ok_response(req, result, degraded=degraded,
+                           served_by=served_by)
 
     # ---------------------------------------------------------------- health
+    def _queue_depths(self) -> dict[str, dict[str, int]]:
+        return {"executor": self._exec_queue.depths(),
+                "batcher": self.batcher.depths()}
+
     def _health(self) -> dict:
         status = ("draining" if self.draining
                   else "ready" if self._started.is_set() else "starting")
@@ -576,12 +662,19 @@ class ReproServer:
             "ready": status == "ready",
             "live": True,
             "pid": os.getpid(),
+            "protocol_version": PROTOCOL_VERSION,
+            "replica_ordinal": self.config.replica_ordinal,
             "uptime_s": round(time.monotonic() - self._t0, 3),
             "queue": {
                 "executor_depth": self._exec_queue.qsize(),
                 "executor_capacity": self.config.max_queue,
                 "batch_depth": self.batcher.depth,
                 "batch_capacity": self.config.max_batch_queue,
+            },
+            "tenancy": {
+                "limited": self.admission.limited,
+                "tenants": self.admission.snapshot(),
+                "queues": self._queue_depths(),
             },
             "batcher": {"batches": self.batcher.batches,
                         "coalesced": self.batcher.coalesced},

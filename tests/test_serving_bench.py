@@ -5,13 +5,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.servebench import run_serve_bench
+from repro.experiments import manifest
+from repro.perf.servebench import run_noisy_neighbor_bench, run_serve_bench
 from repro.serving import ReproServer, ServerConfig
 
 #: the chaos plan CI's serve-smoke job also runs (pinned seeds verified
 #: to fire every client-side site at these fleet sizes)
 CHAOS = ("worker_crash:p=0.3,seed=5;conn_drop:p=0.08,seed=1;"
          "request_garbage:p=0.1,seed=7;slow_client:p=0.05,seed=3")
+
+#: the router lane's plan: hard-kill one replica after 5 answered
+#: requests, keep it down 1 s, restart it on the same port
+ROUTER_CHAOS = "replica_down:at=5,seed=1,secs=1"
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +57,43 @@ class TestServeBench:
         assert t["ok"] > 0
         assert result["error_responses"].get("invalid_request", 0) > 0
         assert result["faults"] == CHAOS
+
+    def test_router_fleet_survives_replica_kill(self, serving_runtime,
+                                                monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", ROUTER_CHAOS)
+        result = run_serve_bench(quick=True, clients=4,
+                                 requests_per_client=10,
+                                 router_replicas=2, journal_root=tmp_path,
+                                 runtime=serving_runtime)
+        assert result["zero_unanswered"], result["totals"]
+        router = result["router"]
+        assert router["replicas"] == 2
+        chaos = {e["event"]: e for e in router["chaos"]}
+        assert "replica_killed" in chaos
+        assert chaos.get("replica_restarted", {}).get("rejoined"), \
+            "the killed replica must rejoin the ring"
+        # the kill window forced at least one journaled failover
+        events = manifest.read_events(tmp_path)
+        kinds = {e["event"] for e in events}
+        assert "replica_health" in kinds
+        assert router["failovers"] >= 1 or "failover" in kinds or \
+            result["totals"]["shed_final"] > 0
+        assert result["server_health"]["router"]
+
+    def test_noisy_neighbor_isolation_holds(self, serving_runtime,
+                                            tmp_path):
+        result = run_noisy_neighbor_bench(quick=True,
+                                          runtime=serving_runtime,
+                                          journal_root=tmp_path)
+        assert result["solo"]["victim_n"] > 0
+        assert result["isolated"]["victim_unanswered"] == 0
+        assert result["unisolated"]["victim_unanswered"] == 0
+        # the aggressor actually got throttled in the isolated phase
+        # (rate_limited answers are retried, so they land as shed stats)
+        iso = result["isolated"]
+        assert iso["aggressor_shed_retries"] + iso["aggressor_shed_final"] > 0
+        assert result["isolated_p99_ratio"] <= 2.0
+        assert result["isolation_holds"]
 
     def test_replay_is_deterministic_traffic(self, daemon):
         a = run_serve_bench(quick=True, address=daemon.address,

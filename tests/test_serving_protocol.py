@@ -9,9 +9,10 @@ import numpy as np
 import pytest
 
 from repro.serving.protocol import (MAX_DEADLINE_MS, OP_SUMMARIES, OPS,
-                                    ProtocolError, encode_response,
-                                    error_response, ok_response,
-                                    parse_request)
+                                    PROTOCOL_VERSION, ProtocolError,
+                                    encode_response, error_response,
+                                    ok_response, parse_request)
+from repro.serving.tenancy import DEFAULT_TENANT, TENANT_NAME_MAX
 
 
 class TestParse:
@@ -40,6 +41,13 @@ class TestParse:
     def test_deadline_floor_is_one_ms(self):
         assert parse_request(
             '{"op": "health", "deadline_ms": -5}').deadline_ms == 1.0
+
+    def test_deadline_exact_boundaries_pass_unclamped(self):
+        assert parse_request(
+            '{"op": "health", "deadline_ms": 1}').deadline_ms == 1.0
+        assert parse_request(json.dumps(
+            {"op": "health",
+             "deadline_ms": MAX_DEADLINE_MS})).deadline_ms == MAX_DEADLINE_MS
 
     def test_null_params_means_empty(self):
         assert parse_request('{"op": "health", "params": null}').params == {}
@@ -72,11 +80,52 @@ class TestParse:
             parse_request("{not json")  # no id extractable
         assert err.value.req_id is None
 
+    def test_protocol_version_is_two(self):
+        assert PROTOCOL_VERSION == 2
+
     def test_expiry_is_monotonic(self):
         req = parse_request('{"op": "health", "deadline_ms": 1}')
         assert not req.remaining(now=req.received) <= 0
         time.sleep(0.005)
         assert req.expired
+
+
+class TestTenantField:
+    def test_absent_tenant_is_the_default_class(self):
+        # the whole v1 surface: no tenant field anywhere
+        assert parse_request('{"op": "health"}').tenant == DEFAULT_TENANT
+
+    @pytest.mark.parametrize("raw", [None, "", "   "])
+    def test_null_and_blank_collapse_to_default(self, raw):
+        req = parse_request(json.dumps({"op": "health", "tenant": raw}))
+        assert req.tenant == DEFAULT_TENANT
+
+    def test_tenant_is_preserved_and_stripped(self):
+        req = parse_request('{"op": "health", "tenant": "  team-a "}')
+        assert req.tenant == "team-a"
+
+    def test_tenant_accepted_on_every_op(self):
+        for op in OPS:
+            req = parse_request(json.dumps({"op": op, "tenant": "t"}))
+            assert req.tenant == "t"
+
+    @pytest.mark.parametrize("raw", [17, True, ["a"], {"n": "a"}])
+    def test_non_string_tenant_is_a_typed_error(self, raw):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(json.dumps(
+                {"op": "health", "id": "t1", "tenant": raw}))
+        assert err.value.code == "invalid_request"
+        assert err.value.req_id == "t1"
+
+    def test_oversized_tenant_is_rejected(self):
+        name = "x" * (TENANT_NAME_MAX + 1)
+        with pytest.raises(ProtocolError) as err:
+            parse_request(json.dumps({"op": "health", "tenant": name}))
+        assert err.value.code == "invalid_request"
+        # exactly at the cap is fine
+        ok = parse_request(json.dumps(
+            {"op": "health", "tenant": "x" * TENANT_NAME_MAX}))
+        assert ok.tenant == "x" * TENANT_NAME_MAX
 
 
 class TestResponses:

@@ -12,7 +12,8 @@ import time
 import pytest
 
 from repro.experiments import manifest
-from repro.serving import ReproServer, ServerConfig
+from repro.serving import (PROTOCOL_VERSION, ReproServer, ServerConfig,
+                           TenancyConfig, TenantPolicy)
 
 
 class Client:
@@ -224,6 +225,133 @@ class TestBackpressure:
                        for t in srv.breakers["predict"].transitions)
         finally:
             srv.stop()
+
+
+class TestTenancy:
+    def test_tenant_accepted_on_every_op(self, client):
+        for op, params in (("predict", {"slice": [0, 1]}),
+                           ("predict_many", {"slices": [[0, 1]]}),
+                           ("whatif", {"n_stages": 1, "n_microbatches": 2}),
+                           ("health", {})):
+            resp = client.rpc({"op": op, "id": f"t-{op}",
+                               "tenant": "team-a", "params": params})
+            assert resp["ok"], (op, resp)
+
+    def test_health_reports_version_and_tenancy(self, client):
+        # health itself is unmetered, so put real work on the books first
+        assert client.rpc({"op": "predict", "tenant": "metered",
+                           "params": {"slice": [0, 1]}})["ok"]
+        r = client.rpc({"op": "health"})["result"]
+        assert r["protocol_version"] == PROTOCOL_VERSION
+        assert r["replica_ordinal"] == 0
+        ten = r["tenancy"]
+        assert ten["limited"] is False  # module server has no tenant config
+        assert ten["tenants"]["metered"]["admitted"] == 1
+        assert set(ten["queues"]) == {"executor", "batcher"}
+
+    def test_over_budget_tenant_is_rate_limited_inline(
+            self, serving_runtime, tmp_path):
+        tenancy = TenancyConfig(policies={
+            "greedy": TenantPolicy(rate=0.001, burst=1.0)})
+        srv = ReproServer(serving_runtime,
+                          ServerConfig(port=0, workers=1, tenancy=tenancy),
+                          journal_root=tmp_path)
+        srv.start()
+        try:
+            c = Client(srv.address)
+            ok = c.rpc({"op": "predict", "id": 1, "tenant": "greedy",
+                        "params": {"slice": [0, 1]}})
+            assert ok["ok"]  # the burst token
+            limited = c.rpc({"op": "predict", "id": 2, "tenant": "greedy",
+                             "params": {"slice": [0, 1]}})
+            assert not limited["ok"] and limited["id"] == 2
+            assert limited["error"]["code"] == "rate_limited"
+            assert limited["retry_after_ms"] > 0
+            # budgets are per tenant: everyone else is untouched
+            assert c.rpc({"op": "predict", "id": 3, "tenant": "frugal",
+                          "params": {"slice": [0, 1]}})["ok"]
+            assert c.rpc({"op": "predict", "id": 4,
+                          "params": {"slice": [0, 1]}})["ok"]  # v1 client
+            # health is free (op cost 0) even for the limited tenant
+            health = c.rpc({"op": "health", "tenant": "greedy"})
+            assert health["ok"]
+            snap = health["result"]["tenancy"]
+            assert snap["limited"] is True
+            assert snap["tenants"]["greedy"]["rate_limited"] == 1
+            assert srv.counters.get("rate_limited") == 1
+            c.close()
+        finally:
+            srv.stop()
+        events = manifest.read_events(tmp_path)
+        assert any(e["event"] == "rate_limited"
+                   and e["tenant"] == "greedy" for e in events)
+        closing = [e for e in events if e["event"] == "tenancy"]
+        assert closing, "drain must journal the tenancy snapshot"
+        assert closing[-1]["tenants"]["greedy"]["rate_limited"] == 1
+
+    def test_concurrency_budget_counts_inflight(self, serving_runtime):
+        tenancy = TenancyConfig(policies={
+            "narrow": TenantPolicy(max_inflight=1)})
+        srv = ReproServer(serving_runtime,
+                          ServerConfig(port=0, workers=1, max_batch=1,
+                                       batch_window_ms=50.0,
+                                       tenancy=tenancy))
+        srv.start()
+        try:
+            cs = [Client(srv.address) for _ in range(4)]
+            for i, c in enumerate(cs):
+                c.send_raw((json.dumps(
+                    {"op": "predict", "id": i, "tenant": "narrow",
+                     "params": {"slice": [0, 1]}}) + "\n").encode())
+            responses = [c.read() for c in cs]
+            for c in cs:
+                c.close()
+            assert all(r is not None for r in responses)
+            rejected = [r for r in responses
+                        if not r["ok"]
+                        and r["error"]["code"] == "rate_limited"]
+            served = [r for r in responses if r["ok"]]
+            assert served, "the budget admits one at a time"
+            for r in rejected:
+                assert r["retry_after_ms"] > 0
+        finally:
+            srv.stop()
+
+
+class TestSearchCache:
+    def test_identical_search_is_served_from_cache(self, client, server):
+        req = {"op": "search", "deadline_ms": 120_000,
+               "params": {"stage_counts": [1, 2], "n_microbatches": 8}}
+        before = server.counters.get("search_cache_hits")
+        first = client.rpc({**req, "id": "s1"})
+        assert first["ok"] and "cached" not in first["result"]
+        second = client.rpc({**req, "id": "s2"})
+        assert second["ok"] and second["result"]["cached"] is True
+        assert server.counters.get("search_cache_hits") == before + 1
+        assert second["result"]["best"] == first["result"]["best"]
+
+    def test_different_question_misses(self, client, server):
+        before = server.counters.get("search_cache_hits")
+        resp = client.rpc({"op": "search", "id": "s3",
+                           "deadline_ms": 120_000,
+                           "params": {"stage_counts": [1, 2],
+                                      "n_microbatches": 16}})
+        assert resp["ok"] and "cached" not in resp["result"]
+        assert server.counters.get("search_cache_hits") == before
+
+    def test_reload_invalidates_via_generation(self, serving_runtime,
+                                               tmp_path):
+        from repro.predictors.serialize import save_predictor
+
+        key_before = serving_runtime.search_key([1, 2], 4, "1f1b")
+        gen = serving_runtime.generation
+        # reload an equivalent ensemble: same members, fresh generation
+        paths = tuple(
+            str(save_predictor(m, tmp_path / f"m{i}.npz"))
+            for i, m in enumerate(serving_runtime.ensemble.members))
+        serving_runtime.reload(paths)
+        assert serving_runtime.generation == gen + 1
+        assert serving_runtime.search_key([1, 2], 4, "1f1b") != key_before
 
 
 class TestLifecycle:
