@@ -94,6 +94,13 @@ def cmd_info(args) -> int:
     for name in schedule_names():
         doc = (get_schedule(name).__class__.__doc__ or "").strip()
         print(f"  {name}: {doc.splitlines()[0] if doc else ''}")
+    from .cluster.mesh import topology_enabled
+    from .parallel.handlers import describe_handlers
+
+    gate = "on" if topology_enabled() else "off"
+    print(f"\nstrategy handlers (topology-aware search REPRO_TOPO={gate}):")
+    for name, keys, summary in describe_handlers():
+        print(f"  {name} [{keys}]: {summary}")
     from .faults import SITE_SUMMARIES
     from .serving.protocol import OP_SUMMARIES
 

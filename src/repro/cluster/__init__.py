@@ -9,8 +9,10 @@ from .collectives import (
     reducescatter_time,
 )
 from .gpu import A40, GPUS, RTX_A5500, GPUSpec
-from .mesh import DeviceMesh, LogicalMesh, enumerate_submeshes, logical_views
-from .network import IB100, LINKS, NVLINK, PCIE4, TEN_GBE, LinkSpec
+from .mesh import (DeviceMesh, LogicalMesh, enumerate_submeshes,
+                   logical_views, topology_enabled)
+from .network import (IB100, LINKS, NVLINK, PCIE4, TEN_GBE, LinkHop,
+                      LinkPath, LinkSpec, single_link_path)
 from .platforms import (
     MESH_CONFIGS,
     PARALLEL_CONFIGS,
@@ -23,8 +25,10 @@ from .platforms import (
 
 __all__ = [
     "GPUSpec", "A40", "RTX_A5500", "GPUS",
-    "LinkSpec", "NVLINK", "PCIE4", "TEN_GBE", "IB100", "LINKS",
+    "LinkSpec", "LinkHop", "LinkPath", "single_link_path",
+    "NVLINK", "PCIE4", "TEN_GBE", "IB100", "LINKS",
     "DeviceMesh", "LogicalMesh", "enumerate_submeshes", "logical_views",
+    "topology_enabled",
     "allreduce_time", "allgather_time", "reducescatter_time",
     "alltoall_time", "p2p_time", "broadcast_time",
     "Platform", "PLATFORM1", "PLATFORM2", "PLATFORMS", "get_platform",

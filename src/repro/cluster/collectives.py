@@ -13,11 +13,22 @@ Costs are in seconds; ``p == 1`` is free.  These forms give the right
 asymptotics (bandwidth-bound for large n, latency-bound for small n) and,
 more importantly for the paper's experiments, the right *ordering* between
 NVLink-only and cross-node configurations.
+
+Every model accepts either a flat :class:`~.network.LinkSpec` or a
+multi-hop :class:`~.network.LinkPath` (topology-aware pricing,
+``REPRO_TOPO=on``): a path exposes the same ``alpha`` / ``beta`` /
+``transfer_time`` surface, with α summed over its segments and β taken
+from the bottleneck segment after dividing out contention.
 """
 
 from __future__ import annotations
 
-from .network import LinkSpec
+import math
+from typing import Union
+
+from .network import LinkPath, LinkSpec
+
+Link = Union[LinkSpec, LinkPath]
 
 
 def _check(nbytes: float, p: int) -> None:
@@ -27,7 +38,7 @@ def _check(nbytes: float, p: int) -> None:
         raise ValueError(f"bad group size {p}")
 
 
-def allreduce_time(link: LinkSpec, nbytes: float, p: int) -> float:
+def allreduce_time(link: Link, nbytes: float, p: int) -> float:
     """Ring all-reduce of an ``nbytes`` tensor across ``p`` ranks."""
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
@@ -36,7 +47,7 @@ def allreduce_time(link: LinkSpec, nbytes: float, p: int) -> float:
     return steps * link.alpha + steps / p * (nbytes / link.beta)
 
 
-def allgather_time(link: LinkSpec, nbytes: float, p: int) -> float:
+def allgather_time(link: Link, nbytes: float, p: int) -> float:
     """Ring all-gather; ``nbytes`` is the size of the *gathered* result."""
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
@@ -45,12 +56,12 @@ def allgather_time(link: LinkSpec, nbytes: float, p: int) -> float:
     return steps * link.alpha + steps / p * (nbytes / link.beta)
 
 
-def reducescatter_time(link: LinkSpec, nbytes: float, p: int) -> float:
+def reducescatter_time(link: Link, nbytes: float, p: int) -> float:
     """Ring reduce-scatter; ``nbytes`` is the size of the *input* tensor."""
     return allgather_time(link, nbytes, p)
 
 
-def alltoall_time(link: LinkSpec, nbytes: float, p: int) -> float:
+def alltoall_time(link: Link, nbytes: float, p: int) -> float:
     """All-to-all of ``nbytes`` total payload per rank (MoE dispatch)."""
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
@@ -59,19 +70,17 @@ def alltoall_time(link: LinkSpec, nbytes: float, p: int) -> float:
     return steps * link.alpha + steps / p * (nbytes / link.beta)
 
 
-def p2p_time(link: LinkSpec, nbytes: float) -> float:
+def p2p_time(link: Link, nbytes: float) -> float:
     """Point-to-point send of ``nbytes`` (pipeline stage boundary)."""
     if nbytes <= 0:
         return 0.0
     return link.transfer_time(nbytes)
 
 
-def broadcast_time(link: LinkSpec, nbytes: float, p: int) -> float:
+def broadcast_time(link: Link, nbytes: float, p: int) -> float:
     """Tree broadcast to ``p`` ranks."""
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
         return 0.0
-    import math
-
     rounds = math.ceil(math.log2(p))
     return rounds * (link.alpha + nbytes / link.beta)

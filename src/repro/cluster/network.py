@@ -28,6 +28,80 @@ class LinkSpec:
         return self.alpha + nbytes / self.beta
 
 
+@dataclass(frozen=True)
+class LinkHop:
+    """One segment of a multi-hop route, with a contention divisor.
+
+    ``sharing`` counts the parallel communication groups squeezing
+    through this segment concurrently (e.g. the ``mp`` rings of a
+    cross-node ``dp`` axis all share each node's single NIC); the
+    segment's effective per-group bandwidth is ``beta / sharing``.
+    """
+
+    link: LinkSpec
+    sharing: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sharing < 1:
+            raise ValueError(f"sharing must be >= 1, got {self.sharing}")
+
+    @property
+    def effective_beta(self) -> float:
+        return self.link.beta / self.sharing
+
+
+@dataclass(frozen=True)
+class LinkPath:
+    """A route through heterogeneous segments (TAPS-style pricing).
+
+    A logical mesh axis that strides node boundaries does not see one
+    uniform α-β link: a ring step traverses NVLink inside the node, the
+    PCIe host bridge to the NIC, and the cluster fabric between nodes.
+    The path prices a transfer like a :class:`LinkSpec` whose latency is
+    the *sum* of the per-hop latencies and whose bandwidth is the
+    *bottleneck* segment's effective (contention-divided) bandwidth — so
+    the collectives in :mod:`.collectives` accept either interchangeably.
+    """
+
+    name: str
+    hops: tuple[LinkHop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a LinkPath needs at least one hop")
+
+    @property
+    def alpha(self) -> float:
+        """Per-message latency: every segment is traversed in series."""
+        return sum(h.link.alpha for h in self.hops)
+
+    @property
+    def beta(self) -> float:
+        """Bottleneck effective bandwidth across the segments."""
+        return min(h.effective_beta for h in self.hops)
+
+    @property
+    def bottleneck(self) -> LinkHop:
+        """The segment that bounds the path's bandwidth."""
+        return min(self.hops, key=lambda h: h.effective_beta)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` end-to-end across this path."""
+        if nbytes <= 0:
+            return 0.0
+        return self.alpha + nbytes / self.beta
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "+".join(
+            f"{h.link.name}" + (f"/{h.sharing}" if h.sharing > 1 else "")
+            for h in self.hops)
+
+
+def single_link_path(link: LinkSpec) -> LinkPath:
+    """Degenerate one-hop path pricing identically to ``link``."""
+    return LinkPath(link.name, (LinkHop(link),))
+
+
 #: NVLink bridge on both platforms: 112.5 GB/s bidirectional => ~56 GB/s
 #: usable per direction, microsecond-scale latency.
 NVLINK = LinkSpec("nvlink", alpha=4.0e-6, beta=56.25e9)

@@ -1,0 +1,25 @@
+"""Per-op strategy-handler registry.
+
+Import order is registration order, and registration order is dispatch
+precedence within an op name — the patch-embed handler must register
+before the generic movement handlers so it gets first claim on
+high-rank reshapes/transposes.
+"""
+
+from .base import NodeHandler, ShardingStrategy, Strategy, make_strategy
+from .registry import (describe_handlers, handler_for, handler_names,
+                       iter_handlers, register_fallback, register_handler)
+
+from . import dot            # noqa: E402,F401  dot_general
+from . import embedding      # noqa: E402,F401  gather
+from . import conv           # noqa: E402,F401  high-rank reshape/transpose
+from . import movement       # noqa: E402,F401  reshape/transpose + fallback
+from . import elementwise    # noqa: E402,F401  (fused_)elementwise
+from . import reduction      # noqa: E402,F401  reductions
+from . import moe            # noqa: E402,F401  top_k/one_hot/scatter_add
+
+__all__ = [
+    "NodeHandler", "ShardingStrategy", "Strategy", "make_strategy",
+    "register_handler", "register_fallback", "handler_for",
+    "iter_handlers", "handler_names", "describe_handlers",
+]

@@ -1,0 +1,188 @@
+"""Handler substrate: strategy dataclasses, the ABC, shared helpers.
+
+A :class:`NodeHandler` generates every SPMD strategy one operator kind
+may execute under on a logical mesh — the ColossalAI ``NodeHandler`` /
+``StrategiesVector`` shape, adapted to this repo's interned
+:class:`~..sharding.ShardingSpec` vocabulary and α-β collective models.
+Handlers are stateless singletons registered per op name (exact match)
+or per op category (fallback) in :mod:`.registry`; the intra-op DP
+consumes their strategy lists through the unchanged
+:func:`repro.parallel.strategies.node_strategies` facade.
+
+Strategies carry explicit costs: the work-division ``factor`` (compute),
+``comm_time`` (seconds of collectives the strategy itself emits), and
+``memory_bytes`` (per-device bytes of the strategy's output).  The DP
+prices compute via the roofline model under ``factor`` and adds
+``comm_time``; ``memory_bytes`` feeds the executor's memory accounting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from ..sharding import REPLICATED, ShardingSpec, intern_assignments, iter_axes
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One way to execute a node on a logical mesh."""
+
+    name: str
+    out: ShardingSpec
+    ins: tuple[ShardingSpec, ...]
+    #: work division (flops and bytes divided by this)
+    factor: int
+    #: seconds of collectives the strategy itself performs
+    comm_time: float
+
+
+@dataclass(frozen=True)
+class ShardingStrategy(Strategy):
+    """A handler-generated strategy with its explicit cost breakdown.
+
+    The compute cost is the roofline kernel time divided by ``factor``
+    (computed by the DP, which owns the GPU model); the communication
+    cost is ``comm_time``; the memory cost is ``memory_bytes``.
+    """
+
+    #: per-device bytes of the output tensor under ``out``
+    memory_bytes: float = 0.0
+
+
+def make_strategy(name: str, out: ShardingSpec,
+                  ins: tuple[ShardingSpec, ...], factor: int,
+                  comm_time: float, node: Node,
+                  mesh: LogicalMesh) -> ShardingStrategy:
+    """A :class:`ShardingStrategy` with its memory cost filled in."""
+    return ShardingStrategy(name, out, ins, factor, comm_time,
+                            node.out.nbytes / out.shard_factor(mesh))
+
+
+class NodeHandler(ABC):
+    """Generates the strategy set of one operator kind.
+
+    Subclasses declare the exact op names (``ops``) and/or op categories
+    (``categories``) they serve and are registered with
+    :func:`~.registry.register_handler`.  ``matches`` lets a handler
+    decline a node (falling through to the next registered handler) so
+    specialized handlers — e.g. the patch-embed handler claiming only
+    high-rank space-to-depth reshapes — can share an op name with the
+    generic one.
+    """
+
+    #: exact op names this handler serves (checked before categories)
+    ops: tuple[str, ...] = ()
+    #: op categories this handler serves when no op-name handler matched
+    categories: tuple[str, ...] = ()
+
+    @classmethod
+    def matches(cls, node: Node, ins: Sequence[TensorSpec]) -> bool:
+        """Whether this handler claims ``node`` (default: always)."""
+        return True
+
+    @abstractmethod
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        """Every strategy ``node`` may execute under on ``mesh``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def summary(self) -> str:
+        doc = (type(self).__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+
+# ------------------------------------------------------------ shared helpers
+
+def axis_ok(dim: int, axis: str) -> bool:
+    """Axis semantics of the Table-III configurations.
+
+    The ``dp`` axis carries *data parallelism*: it may only shard dimension
+    0 (the batch dim of activations).  The ``mp`` axis carries *model /
+    tensor parallelism*: it shards non-batch dims (features, heads,
+    experts) and weight matrices.  This is what distinguishes a (2, 1)
+    from a (1, 2) logical view of the same two devices.
+    """
+    return dim == 0 if axis == "dp" else dim != 0
+
+
+def align_broadcast(out_spec: ShardingSpec, out: TensorSpec,
+                    operand: TensorSpec, mesh: LogicalMesh) -> ShardingSpec:
+    """Propagate an output sharding to an elementwise operand.
+
+    Dims are aligned from the right (numpy broadcasting); operand dims
+    that are broadcast (absent or size 1) stay replicated on that axis.
+    The aligned spec is validated against the operand — a propagated
+    assignment may land on a dim the operand's shape does not divide
+    evenly (fusion groups and handler-added candidates can misalign) —
+    and falls back to replicated rather than emitting an infeasible
+    strategy.
+    """
+    offset = out.rank - operand.rank
+    assignments = []
+    for d, a in out_spec.assignments:
+        di = d - offset
+        if di >= 0 and operand.shape[di] == out.shape[d]:
+            assignments.append((di, a))
+    spec = intern_assignments(tuple(assignments))
+    if not spec.valid_for(operand, mesh):
+        return REPLICATED
+    return spec
+
+
+def out_candidates(out: TensorSpec, mesh: LogicalMesh,
+                   extra_dims: tuple[int, ...] = ()) -> list[ShardingSpec]:
+    """Replicated plus axis-semantic shardings over dims {0, 1, last}.
+
+    ``extra_dims`` widens the candidate set (topology-aware handlers add
+    interior dims); duplicates and out-of-range dims are dropped.
+    """
+    cands = [REPLICATED]
+    dims = {0, out.rank - 1}
+    if out.rank >= 3:
+        dims.add(1)
+    dims.update(d for d in extra_dims if 0 <= d < out.rank)
+    for d in sorted(x for x in dims if x >= 0):
+        for a in iter_axes(mesh):
+            if not axis_ok(d, a):
+                continue
+            s = ShardingSpec.shard(d, a)
+            if s.valid_for(out, mesh):
+                cands.append(s)
+    if out.rank >= 2 and mesh.dp > 1 and mesh.mp > 1:
+        s = ShardingSpec.shard2(0, "dp", out.rank - 1, "mp")
+        if s.valid_for(out, mesh):
+            cands.append(s)
+    return cands
+
+
+def reshape_map(src: TensorSpec, dst: TensorSpec) -> dict[int, int]:
+    """Best-effort dst dim -> src dim correspondence for common reshapes."""
+    mapping: dict[int, int] = {}
+    # shared prefix
+    p = 0
+    while (p < min(src.rank, dst.rank)
+           and src.shape[p] == dst.shape[p]):
+        mapping[p] = p
+        p += 1
+    # split last:  (..., H) -> (..., nh, dh)
+    if (dst.rank == src.rank + 1 and p == src.rank - 1
+            and src.shape[-1] == dst.shape[-2] * dst.shape[-1]):
+        mapping[dst.rank - 2] = src.rank - 1
+    # merge last:  (..., nh, dh) -> (..., H)
+    elif (src.rank == dst.rank + 1 and p == dst.rank - 1
+          and dst.shape[-1] == src.shape[-2] * src.shape[-1]):
+        mapping[dst.rank - 1] = src.rank - 2
+    # flatten leading dims keeping the last:  (B, S, H) -> (B*S, H)
+    elif src.shape and dst.shape and src.shape[-1] == dst.shape[-1]:
+        mapping[dst.rank - 1] = src.rank - 1
+        if dst.rank >= 2 and src.rank >= 2:
+            mapping.setdefault(0, 0)
+    return mapping

@@ -1,0 +1,139 @@
+"""Generic strategy enumerators shared by several handlers.
+
+These are the registry-path ports of the legacy enumerators in
+:mod:`repro.parallel.strategies` (kept there as the differential
+oracle).  They are module functions rather than handler methods so that
+specialized handlers — patch-embed claiming high-rank reshapes, the MoE
+dispatch handler claiming ``top_k``/``one_hot``/``scatter_add`` — can
+delegate to the generic behavior (bit-identical with topology-aware
+search off) and widen it with extra sharding candidates when on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from ..sharding import REPLICATED, ShardingSpec, intern_assignments, iter_axes
+from .base import (Strategy, align_broadcast, axis_ok, make_strategy,
+                   out_candidates, reshape_map)
+
+
+def elementwise_strategies(node: Node, ins: Sequence[TensorSpec],
+                           mesh: LogicalMesh,
+                           extra_dims: tuple[int, ...] = ()) -> list[Strategy]:
+    """Shard the output anywhere; operands follow by broadcasting rules."""
+    out = node.out
+    strats = []
+    for c in out_candidates(out, mesh, extra_dims):
+        in_specs = tuple(align_broadcast(c, out, s, mesh) for s in ins)
+        strats.append(make_strategy(f"elt[{c}]", c, in_specs,
+                                    c.shard_factor(mesh), 0.0, node, mesh))
+    return strats
+
+
+def reduction_strategies(node: Node, ins: Sequence[TensorSpec],
+                         mesh: LogicalMesh) -> list[Strategy]:
+    """Shard surviving dims only (sharding a reduced dim needs a collective
+    the legacy space never priced, so the registry keeps it out too)."""
+    src = ins[0]
+    axes = tuple(node.params.get("axes", ()))
+    keepdims = bool(node.params.get("keepdims", False))
+    if keepdims or not axes:
+        out_to_in = {d: d for d in range(node.out.rank)}
+    else:
+        surviving = [d for d in range(src.rank) if d not in axes]
+        out_to_in = {i: d for i, d in enumerate(surviving)}
+    strats = []
+    for c in out_candidates(node.out, mesh):
+        ok = True
+        in_assign = []
+        for d, a in c.assignments:
+            di = out_to_in.get(d)
+            if di is None:
+                ok = False
+                break
+            in_assign.append((di, a))
+        if not ok:
+            continue
+        in_spec = intern_assignments(tuple(in_assign))
+        if not in_spec.valid_for(src, mesh):
+            continue
+        rest = tuple(REPLICATED for _ in ins[1:])
+        strats.append(make_strategy(f"red[{c}]", c, (in_spec,) + rest,
+                                    c.shard_factor(mesh), 0.0, node, mesh))
+    return strats
+
+
+def transpose_strategies(node: Node, ins: Sequence[TensorSpec],
+                         mesh: LogicalMesh,
+                         extra_dims: tuple[int, ...] = ()) -> list[Strategy]:
+    """Permute the output sharding back through the transpose."""
+    perm = tuple(node.params.get("perm", range(node.out.rank)))
+    strats = []
+    for c in out_candidates(node.out, mesh, extra_dims):
+        in_spec = intern_assignments(
+            tuple((perm[d], a) for d, a in c.assignments))
+        if in_spec.valid_for(ins[0], mesh):
+            strats.append(make_strategy(f"tr[{c}]", c, (in_spec,),
+                                        c.shard_factor(mesh), 0.0, node, mesh))
+    return strats
+
+
+def reshape_strategies(node: Node, ins: Sequence[TensorSpec],
+                       mesh: LogicalMesh,
+                       extra_dims: tuple[int, ...] = ()) -> list[Strategy]:
+    """Carry shardings through dims the reshape provably preserves."""
+    dmap = reshape_map(ins[0], node.out)
+    strats = []
+    for c in out_candidates(node.out, mesh, extra_dims):
+        in_assign = []
+        ok = True
+        for d, a in c.assignments:
+            di = dmap.get(d)
+            if di is None:
+                ok = False
+                break
+            in_assign.append((di, a))
+        if not ok:
+            continue
+        in_spec = intern_assignments(tuple(in_assign))
+        if not in_spec.valid_for(ins[0], mesh):
+            continue
+        strats.append(make_strategy(f"rs[{c}]", c, (in_spec,),
+                                    c.shard_factor(mesh), 0.0, node, mesh))
+    return strats
+
+
+def default_strategies(node: Node, ins: Sequence[TensorSpec],
+                       mesh: LogicalMesh) -> list[Strategy]:
+    """Replicated execution plus batch-dim sharding when shapes allow."""
+    strats = [make_strategy("def[R]", REPLICATED,
+                            tuple(REPLICATED for _ in ins), 1, 0.0,
+                            node, mesh)]
+    out = node.out
+    if out.rank >= 1:
+        for a in iter_axes(mesh):
+            if not axis_ok(0, a):
+                continue
+            c = ShardingSpec.shard(0, a)
+            if not c.valid_for(out, mesh):
+                continue
+            in_specs = []
+            ok = True
+            for s in ins:
+                if s.rank >= 1 and s.shape[0] == out.shape[0]:
+                    sp = ShardingSpec.shard(0, a)
+                    if not sp.valid_for(s, mesh):
+                        ok = False
+                        break
+                    in_specs.append(sp)
+                else:
+                    in_specs.append(REPLICATED)
+            if ok:
+                strats.append(make_strategy(f"def[batch@{a}]", c,
+                                            tuple(in_specs),
+                                            mesh.axis_size(a), 0.0,
+                                            node, mesh))
+    return strats

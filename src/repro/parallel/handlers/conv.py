@@ -1,0 +1,44 @@
+"""Patch-embed (space-to-depth) strategies for the ViT family.
+
+The patch-embed layer traces to rank-5/6 reshapes and transposes
+(``(B, C, H, W) → (B, Hn, ph, Wn, pw, C) → (B, Hn·Wn, ph·pw·C)``).
+The generic movement handlers only consider dims {0, 1, last}, which
+misses the patch-grid dims; under topology-aware search this handler
+widens the candidate set to every interior dim so the spatial grid can
+shard over ``mp``.  With the gate off it reproduces the generic
+enumeration exactly.
+
+Registered before the generic movement handlers and claiming only
+high-rank nodes, it demonstrates the ``matches`` fall-through protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from .base import NodeHandler, Strategy
+from .common import (default_strategies, reshape_strategies,
+                     transpose_strategies)
+from .registry import register_handler
+
+
+@register_handler
+class PatchEmbedHandler(NodeHandler):
+    """Space-to-depth movement with patch-grid sharding candidates."""
+
+    ops = ("reshape", "transpose")
+
+    @classmethod
+    def matches(cls, node: Node, ins: Sequence[TensorSpec]) -> bool:
+        return node.out.rank >= 5 or bool(ins and ins[0].rank >= 5)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        extra = tuple(range(1, node.out.rank - 1)) if mesh.topo_aware else ()
+        if node.op == "transpose":
+            return transpose_strategies(node, ins, mesh, extra)
+        if ins:
+            return reshape_strategies(node, ins, mesh, extra)
+        return default_strategies(node, ins, mesh)

@@ -1,0 +1,164 @@
+"""Contraction (``dot_general``) strategies.
+
+Reproduces the legacy move algebra — batch-parallel, Megatron
+column/row weight sharding, and the batch-contraction gradient sync —
+and, under topology-aware search, adds the two expert-parallel moves
+that only pay off once cross-node links are priced per hop: batching
+the expert dim of a batched einsum over the ``mp`` axis, and the GShard
+dispatch einsum sharded by expert with an all-to-all token exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...cluster.collectives import allreduce_time, alltoall_time
+from ...ir.graph import Node, TensorSpec
+from ...cluster.mesh import LogicalMesh
+from ..sharding import REPLICATED, ShardingSpec, intern_assignments
+from .base import NodeHandler, Strategy, make_strategy
+from .registry import register_handler
+
+
+@dataclass(frozen=True)
+class Move:
+    """One axis-consuming partitioning choice for a dot_general."""
+
+    label: str
+    axis: str                       # "dp" or "mp" (semantics, see axis_ok)
+    out_dim: int | None             # output dim sharded, None if partial-sum
+    lhs_dim: int | None
+    rhs_dim: int | None
+    allreduce: bool                 # strategy must all-reduce its output
+
+
+def dot_moves(lhs: TensorSpec, rhs: TensorSpec, out: TensorSpec,
+              topo_aware: bool = False) -> list[Move]:
+    moves: list[Move] = []
+    # batch-parallel over leading dims shared by lhs/out; the rhs joins the
+    # batching only when it is itself batched (rank >= 3 matching the output,
+    # e.g. attention score/context einsums, expert-parallel FFNs) — a rank-2
+    # rhs is a weight and stays replicated
+    rhs_batched = rhs.rank == out.rank and rhs.rank >= 3
+    for d in range(min(2, out.rank - 1 if out.rank else 0)):
+        if d >= lhs.rank - 1 or lhs.shape[d] != out.shape[d]:
+            continue
+        if rhs_batched and (d >= rhs.rank - 1 or rhs.shape[d] != out.shape[d]):
+            continue
+        rhs_dim = d if rhs_batched else None
+        axis = "dp" if d == 0 else "mp"
+        moves.append(Move(f"batch{d}", axis, d, d, rhs_dim, False))
+    # Megatron column-parallel: weight's output features sharded
+    if rhs.rank == 2 and out.rank >= 1 and rhs.shape[1] == out.shape[-1]:
+        moves.append(Move("col", "mp", out.rank - 1, None, 1, False))
+    # Megatron row-parallel: contraction dim sharded, partial sums all-reduced
+    if rhs.rank == 2 and lhs.rank >= 1 and lhs.shape[-1] == rhs.shape[0]:
+        moves.append(Move("row", "mp", None, lhs.rank - 1, 0, True))
+    # contraction over batch dims (weight-gradient matmuls: dW = x^T g);
+    # sharding the batch yields partial sums -> the DP gradient all-reduce
+    if (lhs.rank == rhs.rank and lhs.rank > out.rank and lhs.rank >= 2
+            and lhs.shape[0] == rhs.shape[0]):
+        moves.append(Move("gradsync", "dp", None, 0, 0, True))
+    # expert parallelism over the leading batch dim of a fully batched
+    # einsum (the per-expert FFN matmuls): same tiling as batch0 but on
+    # the mp axis, so experts land on the fast intra-node links while dp
+    # pays the NIC.  Only enumerated under topology-aware search — with
+    # flat pricing it is never distinguishable from batch0@dp.
+    if topo_aware and rhs_batched and out.rank >= 3 and lhs.rank >= 3 \
+            and lhs.shape[0] == out.shape[0] == rhs.shape[0]:
+        moves.append(Move("expert0", "mp", 0, 0, 0, False))
+    return moves
+
+
+@register_handler
+class DotGeneralHandler(NodeHandler):
+    """Batch / column / row / grad-sync (and expert) contraction shardings."""
+
+    ops = ("dot_general",)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        lhs, rhs = ins[0], ins[1]
+        out = node.out
+        strats = [make_strategy("dot[R]", REPLICATED,
+                                (REPLICATED, REPLICATED), 1, 0.0, node, mesh)]
+        moves = [m for m in dot_moves(lhs, rhs, out, mesh.topo_aware)
+                 if mesh.axis_size(m.axis) > 1]
+
+        def mk(selected: list[Move]) -> Strategy | None:
+            out_assign, lhs_assign, rhs_assign = [], [], []
+            factor = 1
+            out_shard_factor = 1
+            names = []
+            for mv in selected:
+                p = mesh.axis_size(mv.axis)
+                factor *= p
+                names.append(f"{mv.label}@{mv.axis}")
+                if mv.out_dim is not None:
+                    out_assign.append((mv.out_dim, mv.axis))
+                    out_shard_factor *= p
+                if mv.lhs_dim is not None:
+                    lhs_assign.append((mv.lhs_dim, mv.axis))
+                if mv.rhs_dim is not None:
+                    rhs_assign.append((mv.rhs_dim, mv.axis))
+            try:
+                out_spec = intern_assignments(tuple(out_assign))
+                lhs_spec = intern_assignments(tuple(lhs_assign))
+                rhs_spec = intern_assignments(tuple(rhs_assign))
+            except ValueError:  # a dim or axis mapped twice: incompatible
+                return None
+            if not (out_spec.valid_for(out, mesh)
+                    and lhs_spec.valid_for(lhs, mesh)
+                    and rhs_spec.valid_for(rhs, mesh)):
+                return None
+            comm = 0.0
+            for mv in selected:
+                if mv.allreduce:
+                    p = mesh.axis_size(mv.axis)
+                    comm += allreduce_time(mesh.axis_link(mv.axis),
+                                           out.nbytes / out_shard_factor, p)
+            return make_strategy("dot[" + "+".join(names) + "]", out_spec,
+                                 (lhs_spec, rhs_spec), factor, comm,
+                                 node, mesh)
+
+        for mv in moves:
+            s = mk([mv])
+            if s:
+                strats.append(s)
+        for i, m1 in enumerate(moves):
+            for m2 in moves[i + 1:]:
+                if m1.axis == m2.axis:
+                    continue
+                s = mk([m1, m2])
+                if s:
+                    strats.append(s)
+        strats.extend(self._dispatch_strategies(node, lhs, rhs, mesh))
+        return strats
+
+    def _dispatch_strategies(self, node: Node, lhs: TensorSpec,
+                             rhs: TensorSpec,
+                             mesh: LogicalMesh) -> list[Strategy]:
+        """GShard dispatch einsum ``(tokens, kE) × (tokens, H) → (E, cap, H)``
+        sharded by expert over ``mp``: each device builds its experts' token
+        slabs locally, then an all-to-all exchanges tokens between expert
+        owners.  Topology-aware only — under flat pricing the legacy space
+        must stay bit-identical."""
+        out = node.out
+        if not (mesh.topo_aware and mesh.mp > 1):
+            return []
+        if not (out.rank == 3 and lhs.rank == 2 and rhs.rank == 2
+                and lhs.shape[0] == rhs.shape[0]          # contract tokens
+                and rhs.shape[1] == out.shape[-1]         # model dim carried
+                and out.shape[0] >= 2
+                and lhs.shape[1] % out.shape[0] == 0):    # kE divisible by E
+            return []
+        out_spec = ShardingSpec.shard(0, "mp")
+        lhs_spec = ShardingSpec.shard(1, "mp")
+        if not (out_spec.valid_for(out, mesh)
+                and lhs_spec.valid_for(lhs, mesh)):
+            return []
+        comm = alltoall_time(mesh.axis_link("mp"), out.nbytes, mesh.mp)
+        return [make_strategy("dot[dispatch@mp]", out_spec,
+                              (lhs_spec, REPLICATED), mesh.mp, comm,
+                              node, mesh)]

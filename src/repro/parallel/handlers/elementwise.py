@@ -1,0 +1,41 @@
+"""Elementwise and fused elementwise-chain strategies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from .base import NodeHandler, Strategy
+from .common import elementwise_strategies
+from .registry import register_handler
+
+
+@register_handler
+class FusedElementwiseHandler(NodeHandler):
+    """Fused elementwise chain: all dims become sharding candidates.
+
+    A fusion group is bandwidth-bound over its whole iteration space, so
+    under topology-aware search every dim is worth considering (interior
+    dims often carry the one size that divides a non-power-of-two mesh
+    axis).  With the gate off it is exactly the generic elementwise
+    enumeration — fusion must not perturb the flat-pricing space.
+    """
+
+    ops = ("fused_elementwise",)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        extra = tuple(range(1, node.out.rank - 1)) if mesh.topo_aware else ()
+        return elementwise_strategies(node, ins, mesh, extra)
+
+
+@register_handler
+class ElementwiseHandler(NodeHandler):
+    """Shard the output anywhere; operands follow numpy broadcasting."""
+
+    categories = ("elementwise",)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        return elementwise_strategies(node, ins, mesh)

@@ -1,0 +1,78 @@
+"""Embedding-lookup (``gather``) strategies.
+
+Reproduces the legacy enumeration — replicated, Megatron column-sharded
+embedding dim, and batch-sharded indices — and, under topology-aware
+search, adds the vocab-sharded table: each device holds a slice of the
+rows, emits zeros for out-of-shard ids, and an all-reduce of the output
+merges the partials (Megatron's ``VocabParallelEmbedding``).  Vocab
+sharding divides the table's memory by ``mp`` at the price of one
+all-reduce, a trade that only prices correctly once the mp axis's hop
+path is known.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.collectives import allreduce_time
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from ..sharding import REPLICATED, ShardingSpec, iter_axes
+from .base import NodeHandler, Strategy, make_strategy
+from .registry import register_handler
+
+
+@register_handler
+class EmbeddingHandler(NodeHandler):
+    """Replicated / column-sharded / batch-sharded (/ vocab-sharded) gather."""
+
+    ops = ("gather",)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        table, idx = ins[0], ins[1] if len(ins) > 1 else ins[0]
+        out = node.out
+        strats = [make_strategy("gather[R]", REPLICATED,
+                                tuple(REPLICATED for _ in ins), 1, 0.0,
+                                node, mesh)]
+        for a in iter_axes(mesh):
+            # shard the embedding dim of the table (model parallelism)
+            if (a == "mp" and table.rank == 2 and out.rank >= 1
+                    and table.shape[1] == out.shape[-1]):
+                s = ShardingSpec.shard(out.rank - 1, a)
+                t = ShardingSpec.shard(1, a)
+                if s.valid_for(out, mesh) and t.valid_for(table, mesh):
+                    strats.append(make_strategy(
+                        f"gather[col@{a}]", s,
+                        (t,) + tuple(REPLICATED for _ in ins[1:]),
+                        mesh.axis_size(a), 0.0, node, mesh))
+            # shard the index batch dim (data parallelism)
+            if (a == "dp" and len(ins) > 1 and idx.rank >= 1
+                    and out.shape[0] == idx.shape[0]):
+                s = ShardingSpec.shard(0, a)
+                i = ShardingSpec.shard(0, a)
+                if s.valid_for(out, mesh) and i.valid_for(idx, mesh):
+                    strats.append(make_strategy(
+                        f"gather[batch@{a}]", s,
+                        (REPLICATED, i) + tuple(REPLICATED for _ in ins[2:]),
+                        mesh.axis_size(a), 0.0, node, mesh))
+        strats.extend(self._vocab_sharded(node, ins, mesh))
+        return strats
+
+    def _vocab_sharded(self, node: Node, ins: Sequence[TensorSpec],
+                       mesh: LogicalMesh) -> list[Strategy]:
+        """Rows of the table sharded over ``mp``; partial outputs merged by
+        one all-reduce.  Topology-aware only — with flat pricing the legacy
+        space must stay bit-identical."""
+        table = ins[0]
+        out = node.out
+        if not (mesh.topo_aware and mesh.mp > 1 and table.rank == 2
+                and out.rank >= 1 and table.shape[1] == out.shape[-1]):
+            return []
+        t = ShardingSpec.shard(0, "mp")
+        if not t.valid_for(table, mesh):
+            return []
+        comm = allreduce_time(mesh.axis_link("mp"), out.nbytes, mesh.mp)
+        return [make_strategy("gather[vocab@mp]", REPLICATED,
+                              (t,) + tuple(REPLICATED for _ in ins[1:]),
+                              mesh.mp, comm, node, mesh)]

@@ -1,0 +1,50 @@
+"""MoE routing-path (``top_k`` / ``one_hot`` / ``scatter_add``) strategies.
+
+The router's gating chain is cheap but its layouts decide where the
+dispatch all-to-all happens.  With topology-aware search off these ops
+keep the replicate-or-batch-shard default (bit-identical to the legacy
+space); with it on, the handler adds expert-dim candidates:
+
+* ``one_hot`` — shard the class (expert) dim: each device materializes
+  its slice of the expert-assignment mask locally, no collective;
+* ``scatter_add`` — shard the trailing feature dim: updates land inside
+  each device's feature slice, so the combine runs without exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from ..sharding import REPLICATED, ShardingSpec
+from .base import NodeHandler, Strategy, make_strategy
+from .common import default_strategies
+from .registry import register_handler
+
+
+@register_handler
+class MoEDispatchHandler(NodeHandler):
+    """Routing-chain ops with expert/feature-dim sharding candidates."""
+
+    ops = ("top_k", "one_hot", "scatter_add")
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        strats = default_strategies(node, ins, mesh)
+        if not (mesh.topo_aware and mesh.mp > 1):
+            return strats
+        out = node.out
+        if node.op in ("one_hot", "scatter_add") and out.rank >= 2:
+            d = out.rank - 1
+            c = ShardingSpec.shard(d, "mp")
+            if c.valid_for(out, mesh):
+                in_specs = tuple(
+                    c if (s.rank == out.rank and s.shape[d] == out.shape[d]
+                          and c.valid_for(s, mesh))
+                    else REPLICATED
+                    for s in ins)
+                strats.append(make_strategy(
+                    f"{node.op}[expert@mp]", c, in_specs,
+                    mesh.mp, 0.0, node, mesh))
+        return strats

@@ -1,0 +1,47 @@
+"""Generic data-movement handlers and the replicate/batch-shard fallback."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from .base import NodeHandler, Strategy
+from .common import (default_strategies, reshape_strategies,
+                     transpose_strategies)
+from .registry import register_fallback, register_handler
+
+
+@register_handler
+class TransposeHandler(NodeHandler):
+    """Permute the output sharding back through the transpose."""
+
+    ops = ("transpose",)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        return transpose_strategies(node, ins, mesh)
+
+
+@register_handler
+class ReshapeHandler(NodeHandler):
+    """Carry shardings through dims the reshape provably preserves."""
+
+    ops = ("reshape",)
+
+    @classmethod
+    def matches(cls, node: Node, ins: Sequence[TensorSpec]) -> bool:
+        return bool(ins)  # a sourceless reshape falls through to the default
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        return reshape_strategies(node, ins, mesh)
+
+
+@register_fallback
+class DefaultHandler(NodeHandler):
+    """Replicated execution plus batch-dim sharding when shapes allow."""
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        return default_strategies(node, ins, mesh)

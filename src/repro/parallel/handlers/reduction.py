@@ -1,0 +1,22 @@
+"""Reduction (sum / max / mean / cumsum / softmax-internals) strategies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.mesh import LogicalMesh
+from ...ir.graph import Node, TensorSpec
+from .base import NodeHandler, Strategy
+from .common import reduction_strategies
+from .registry import register_handler
+
+
+@register_handler
+class ReductionHandler(NodeHandler):
+    """Shard surviving dims; reduced dims stay local (no collective)."""
+
+    categories = ("reduction",)
+
+    def strategies(self, node: Node, ins: Sequence[TensorSpec],
+                   mesh: LogicalMesh) -> list[Strategy]:
+        return reduction_strategies(node, ins, mesh)

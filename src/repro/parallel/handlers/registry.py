@@ -1,0 +1,77 @@
+"""Handler registration and dispatch.
+
+Resolution order for an operator node:
+
+1. handlers registered for the exact op name, in registration order,
+   first one whose ``matches`` accepts the node;
+2. handlers registered for the op's category, same rule;
+3. the replicate-or-batch-shard :class:`~.movement.DefaultHandler`.
+
+Registration order therefore encodes specificity: a specialized handler
+(e.g. patch-embed claiming high-rank reshapes) registers before the
+generic handler for the same op and declines everything else via
+``matches``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Type
+
+from ...ir.graph import Node, TensorSpec
+from ...ir.ops import op_def
+from .base import NodeHandler
+
+_BY_OP: dict[str, list[NodeHandler]] = {}
+_BY_CATEGORY: dict[str, list[NodeHandler]] = {}
+_HANDLERS: list[NodeHandler] = []
+_FALLBACK: NodeHandler | None = None
+
+
+def register_handler(cls: Type[NodeHandler]) -> Type[NodeHandler]:
+    """Class decorator: instantiate and index one handler."""
+    inst = cls()
+    for op in cls.ops:
+        _BY_OP.setdefault(op, []).append(inst)
+    for cat in cls.categories:
+        _BY_CATEGORY.setdefault(cat, []).append(inst)
+    _HANDLERS.append(inst)
+    return cls
+
+
+def register_fallback(cls: Type[NodeHandler]) -> Type[NodeHandler]:
+    """The handler of last resort (replicated / batch-shard default)."""
+    global _FALLBACK
+    register_handler(cls)
+    _FALLBACK = _HANDLERS[-1]
+    return cls
+
+
+def handler_for(node: Node, ins: Sequence[TensorSpec]) -> NodeHandler:
+    """The handler serving ``node`` (operator nodes only)."""
+    for h in _BY_OP.get(node.op, ()):
+        if h.matches(node, ins):
+            return h
+    category = op_def(node.op).category
+    for h in _BY_CATEGORY.get(category, ()):
+        if h.matches(node, ins):
+            return h
+    assert _FALLBACK is not None, "no fallback handler registered"
+    return _FALLBACK
+
+
+def iter_handlers() -> Iterator[NodeHandler]:
+    """Registered handlers in registration order (CLI listings, tests)."""
+    return iter(_HANDLERS)
+
+
+def handler_names() -> list[str]:
+    return [h.name for h in _HANDLERS]
+
+
+def describe_handlers() -> list[tuple[str, str, str]]:
+    """(name, dispatch keys, one-line summary) per registered handler."""
+    rows = []
+    for h in _HANDLERS:
+        keys = ", ".join(h.ops + tuple(f"category:{c}" for c in h.categories))
+        rows.append((h.name, keys or "fallback", h.summary))
+    return rows

@@ -6,7 +6,12 @@ the SPMD runtime inserts collective ops on that edge.  The cost model:
 * identical (normalized) specs — free;
 * replicated producer — free (consumers slice locally);
 * producer axes that the consumer keeps — free for those axes;
-* producer axes the consumer drops — an all-gather per axis;
+* producer axes the consumer drops — an all-gather per axis, each sized
+  on the *progressively reassembled* tensor: the first gather operates
+  on the tensor still sharded by the remaining axes, and every later
+  gather on a tensor that has already grown by the preceding gathers'
+  axis sizes (charging every gather on one fixed size misprices
+  multi-axis conversions);
 * axes that move to a different dimension — modeled as an all-gather of
   the source axis too (an all-to-all would be slightly cheaper; the
   difference does not change any plan ordering at these sizes).
@@ -52,10 +57,20 @@ def _reshard_nbytes(
             kept_factor *= mesh.axis_size(a)
         else:
             gather_axes.append(a)
+    # Sequential all-gathers over the gathered axes: each gather's result
+    # is the tensor reassembled over the axes gathered *so far* (still
+    # sharded by the kept axes and by the gather axes yet to run).  The
+    # size therefore grows gather by gather — the second all-gather moves
+    # a tensor already grown by the first gather's axis size, and must be
+    # charged on that grown size, not on one fixed per-gather size.
+    remaining = 1
+    for a in gather_axes:
+        remaining *= mesh.axis_size(a)
     nbytes = tensor_nbytes / kept_factor
     for a in gather_axes:
         p = mesh.axis_size(a)
-        total += allgather_time(mesh.axis_link(a), nbytes, p)
+        remaining //= p
+        total += allgather_time(mesh.axis_link(a), nbytes / remaining, p)
     return total
 
 

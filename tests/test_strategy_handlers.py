@@ -1,0 +1,209 @@
+"""Per-op handler registry: dispatch, cost properties, and the
+registry-vs-legacy differential pin (bit-identical with topology off)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PLATFORM1, PLATFORM2
+from repro.ir import GraphBuilder
+from repro.models import benchmark_config, build_model
+from repro.parallel import (
+    REPLICATED,
+    ShardingStrategy,
+    handler_for,
+    legacy_node_strategies,
+    node_strategies,
+)
+from repro.parallel.handlers import describe_handlers, iter_handlers
+
+
+@pytest.fixture(scope="module")
+def lv22():
+    return PLATFORM2.mesh(3).logical(2, 2)
+
+
+@pytest.fixture(scope="module")
+def lv21():
+    return PLATFORM2.mesh(2).logical(2, 1)
+
+
+@pytest.fixture(scope="module")
+def lv12():
+    return PLATFORM2.mesh(2).logical(1, 2)
+
+
+def _node(build):
+    b = GraphBuilder("s")
+    y = build(b)
+    node = b.graph.nodes[y.id]
+    return node, [b.graph.nodes[i].out for i in node.inputs]
+
+
+def _strategy_key(s):
+    return (s.name, s.out, s.ins, s.factor, s.comm_time)
+
+
+# --------------------------------------------------------------------------
+# dispatch
+# --------------------------------------------------------------------------
+
+class TestDispatch:
+    def test_registry_is_populated(self):
+        names = [h.name for h in iter_handlers()]
+        assert "DotGeneralHandler" in names
+        assert "DefaultHandler" in names
+        assert len(names) == len(set(names))
+
+    def test_describe_handlers_rows(self):
+        rows = describe_handlers()
+        assert all(len(r) == 3 for r in rows)
+        assert any("dot_general" in keys for _, keys, _ in rows)
+
+    @pytest.mark.parametrize("build,expected", [
+        (lambda b: b.einsum_contract(b.input("x", (8, 16)),
+                                     b.param("w", (16, 32)), (8, 32), 16),
+         "DotGeneralHandler"),
+        (lambda b: b.gather(b.param("t", (64, 32)), b.input("i", (8,))),
+         "EmbeddingHandler"),
+        (lambda b: b.add(b.input("x", (8, 32)), b.param("c", (32,))),
+         "ElementwiseHandler"),
+        (lambda b: b.reduce_sum(b.input("x", (8, 32)), (1,)),
+         "ReductionHandler"),
+        (lambda b: b.transpose(b.input("x", (8, 4, 32)), (0, 2, 1)),
+         "TransposeHandler"),
+        (lambda b: b.reshape(b.input("x", (8, 32)), (8, 4, 8)),
+         "ReshapeHandler"),
+        (lambda b: b.top_k(b.input("x", (8, 16)), 2)[0],
+         "MoEDispatchHandler"),
+    ])
+    def test_op_routes_to_handler(self, build, expected):
+        node, ins = _node(build)
+        assert handler_for(node, ins).name == expected
+
+    def test_high_rank_movement_goes_to_patch_embed(self):
+        node, ins = _node(lambda b: b.transpose(
+            b.input("x", (2, 3, 4, 3, 4, 8)), (0, 1, 3, 2, 4, 5)))
+        assert handler_for(node, ins).name == "PatchEmbedHandler"
+        node, ins = _node(lambda b: b.reshape(
+            b.input("x", (2, 3, 4, 3, 4, 8)), (2, 9, 128)))
+        assert handler_for(node, ins).name == "PatchEmbedHandler"
+
+    def test_low_rank_movement_falls_through_patch_embed(self):
+        node, ins = _node(lambda b: b.transpose(
+            b.input("x", (8, 4, 32)), (0, 2, 1)))
+        assert handler_for(node, ins).name == "TransposeHandler"
+
+
+# --------------------------------------------------------------------------
+# cost properties
+# --------------------------------------------------------------------------
+
+def _sample_nodes():
+    yield _node(lambda b: b.einsum_contract(
+        b.input("x", (8, 16)), b.param("w", (16, 32)), (8, 32), 16))
+    yield _node(lambda b: b.add(b.input("x", (8, 32)), b.param("c", (32,))))
+    yield _node(lambda b: b.reduce_sum(b.input("x", (8, 32)), (1,)))
+    yield _node(lambda b: b.gather(b.param("t", (64, 32)),
+                                   b.input("i", (8,))))
+    yield _node(lambda b: b.transpose(b.input("x", (8, 4, 32)), (0, 2, 1)))
+
+
+class TestCostProperties:
+    def test_costs_well_formed(self, lv22):
+        for node, ins in _sample_nodes():
+            for s in node_strategies(node, ins, lv22):
+                assert isinstance(s, ShardingStrategy)
+                assert s.factor >= 1
+                assert s.comm_time >= 0.0
+                assert s.memory_bytes == pytest.approx(
+                    node.out.nbytes / s.out.shard_factor(lv22))
+
+    def test_replicated_memory_is_full_tensor(self, lv22):
+        for node, ins in _sample_nodes():
+            rep = next(s for s in node_strategies(node, ins, lv22)
+                       if s.out == REPLICATED)
+            assert rep.memory_bytes == node.out.nbytes
+
+    def test_sharded_memory_smaller_than_replicated(self, lv22):
+        node, ins = _node(lambda b: b.einsum_contract(
+            b.input("x", (8, 16)), b.param("w", (16, 32)), (8, 32), 16))
+        strats = node_strategies(node, ins, lv22)
+        rep = next(s for s in strats if s.out == REPLICATED)
+        for s in strats:
+            if s.out != REPLICATED and s.out.shard_factor(lv22) > 1:
+                assert s.memory_bytes < rep.memory_bytes
+
+    def test_row_parallel_comm_grows_with_size(self, lv12):
+        def row_comm(n):
+            node, ins = _node(lambda b: b.einsum_contract(
+                b.input("x", (8, 16)), b.param("w", (16, n)), (8, n), 16))
+            return next(s for s in node_strategies(node, ins, lv12)
+                        if "row@mp" in s.name).comm_time
+        assert row_comm(64) > row_comm(32) > 0
+
+    def test_cross_node_allreduce_pricier_than_intra(self):
+        # mesh2 (one node, NVLink) vs mesh3 arranged so mp crosses nodes
+        def row_comm(lm):
+            node, ins = _node(lambda b: b.einsum_contract(
+                b.input("x", (8, 16)), b.param("w", (16, 64)), (8, 64), 16))
+            return next(s for s in node_strategies(node, ins, lm)
+                        if "row@mp" in s.name).comm_time
+        intra = row_comm(PLATFORM2.mesh(2).logical(1, 2))
+        inter = row_comm(PLATFORM2.mesh(3).logical(1, 4))
+        assert inter > intra
+
+
+# --------------------------------------------------------------------------
+# registry vs legacy differential (topology off: bit-identical)
+# --------------------------------------------------------------------------
+
+def _meshes():
+    out = []
+    for plat in (PLATFORM1, PLATFORM2):
+        for mi in plat.mesh_indices():
+            mesh = plat.mesh(mi)
+            dp = 1
+            while dp <= mesh.num_devices:
+                if mesh.num_devices % dp == 0:
+                    out.append(mesh.logical(dp, mesh.num_devices // dp))
+                dp *= 2
+    return out
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("family", ["gpt", "moe", "bert", "vit"])
+    def test_models_bit_identical(self, family):
+        g = build_model(benchmark_config(family, n_layers=2)).full_graph()
+        for lm in _meshes():
+            assert not lm.topo_aware
+            for node in g.nodes:
+                ins = [g.nodes[i].out for i in node.inputs]
+                reg = [_strategy_key(s)
+                       for s in node_strategies(node, ins, lm)]
+                leg = [_strategy_key(s)
+                       for s in legacy_node_strategies(node, ins, lm)]
+                assert reg == leg, (family, node.op, lm.dp, lm.mp)
+
+    @settings(max_examples=60, deadline=None)
+    @given(b=st.integers(1, 4).map(lambda x: 2 ** x),
+           k=st.integers(1, 4).map(lambda x: 2 ** x),
+           n=st.integers(1, 4).map(lambda x: 2 ** x))
+    def test_matmul_shapes_bit_identical(self, b, k, n):
+        lm = PLATFORM2.mesh(3).logical(2, 2)
+        node, ins = _node(lambda bld: bld.einsum_contract(
+            bld.input("x", (b, k)), bld.param("w", (k, n)), (b, n), k))
+        reg = [_strategy_key(s) for s in node_strategies(node, ins, lm)]
+        leg = [_strategy_key(s) for s in legacy_node_strategies(node, ins, lm)]
+        assert reg == leg
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=st.lists(st.integers(1, 3).map(lambda x: 2 ** x),
+                          min_size=1, max_size=4).map(tuple))
+    def test_elementwise_shapes_bit_identical(self, shape):
+        lm = PLATFORM2.mesh(3).logical(2, 2)
+        node, ins = _node(lambda bld: bld.add(
+            bld.input("x", shape), bld.input("y", shape)))
+        reg = [_strategy_key(s) for s in node_strategies(node, ins, lm)]
+        leg = [_strategy_key(s) for s in legacy_node_strategies(node, ins, lm)]
+        assert reg == leg

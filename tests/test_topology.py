@@ -1,0 +1,231 @@
+"""Topology-aware pricing: link paths, axis classification, the gated
+search space, and the multi-axis reshard cost regression."""
+
+import pytest
+
+from repro.cluster import PLATFORM1, PLATFORM2
+from repro.cluster.collectives import allgather_time, allreduce_time
+from repro.cluster.gpu import RTX_A5500
+from repro.cluster.mesh import DeviceMesh, topology_enabled
+from repro.cluster.network import (NVLINK, PCIE4, TEN_GBE, LinkHop, LinkPath,
+                                   single_link_path)
+from repro.ir import GraphBuilder, TensorSpec
+from repro.models import benchmark_config, build_model
+from repro.parallel import ShardingSpec, node_strategies, optimize_stage
+from repro.parallel.resharding import reshard_time
+from repro.parallel.sharding import REPLICATED
+
+
+@pytest.fixture()
+def topo_on(monkeypatch):
+    monkeypatch.setenv("REPRO_TOPO", "on")
+
+
+def _node(build):
+    b = GraphBuilder("s")
+    y = build(b)
+    node = b.graph.nodes[y.id]
+    return node, [b.graph.nodes[i].out for i in node.inputs]
+
+
+# --------------------------------------------------------------------------
+# LinkPath pricing units
+# --------------------------------------------------------------------------
+
+class TestLinkPath:
+    def test_alpha_sums_beta_bottlenecks(self):
+        p = LinkPath("r", (LinkHop(NVLINK), LinkHop(PCIE4),
+                           LinkHop(TEN_GBE, sharing=2)))
+        assert p.alpha == NVLINK.alpha + PCIE4.alpha + TEN_GBE.alpha
+        assert p.beta == TEN_GBE.beta / 2
+        assert p.bottleneck.link is TEN_GBE
+
+    def test_transfer_time_uses_bottleneck(self):
+        p = LinkPath("r", (LinkHop(NVLINK), LinkHop(TEN_GBE)))
+        n = 1 << 20
+        assert p.transfer_time(n) == pytest.approx(
+            p.alpha + n / TEN_GBE.beta)
+        assert p.transfer_time(0) == 0.0
+
+    def test_sharing_divides_bandwidth(self):
+        lone = LinkPath("a", (LinkHop(TEN_GBE),))
+        shared = LinkPath("b", (LinkHop(TEN_GBE, sharing=2),))
+        n = 1 << 20
+        assert shared.transfer_time(n) > lone.transfer_time(n)
+        with pytest.raises(ValueError):
+            LinkHop(TEN_GBE, sharing=0)
+        with pytest.raises(ValueError):
+            LinkPath("empty", ())
+
+    def test_single_link_path_prices_like_link(self):
+        p = single_link_path(NVLINK)
+        for n in (0, 1, 1 << 16, 1 << 24):
+            assert p.transfer_time(n) == NVLINK.transfer_time(n)
+
+    def test_collectives_accept_paths(self):
+        p = LinkPath("r", (LinkHop(NVLINK), LinkHop(TEN_GBE)))
+        n = 1 << 20
+        assert allreduce_time(p, n, 4) > allreduce_time(NVLINK, n, 4)
+        assert allreduce_time(single_link_path(NVLINK), n, 4) == \
+            allreduce_time(NVLINK, n, 4)
+
+    def test_str_shows_hops_and_sharing(self):
+        p = LinkPath("r", (LinkHop(NVLINK), LinkHop(PCIE4),
+                           LinkHop(TEN_GBE, sharing=2)))
+        assert str(p) == "nvlink+pcie4+10gbe/2"
+
+
+# --------------------------------------------------------------------------
+# axis link classification (satellite: mp == gpus_per_node multi-node case
+# and non-dividing factorizations)
+# --------------------------------------------------------------------------
+
+#: (platform, mesh index, dp, mp) -> expected (dp crosses nodes, mp crosses)
+GRID = [
+    (PLATFORM1, 1, 1, 1, False, False),
+    (PLATFORM1, 2, 2, 1, False, False),
+    (PLATFORM1, 2, 1, 2, False, False),
+    (PLATFORM2, 1, 1, 1, False, False),
+    (PLATFORM2, 2, 2, 1, False, False),
+    (PLATFORM2, 2, 1, 2, False, False),
+    (PLATFORM2, 3, 4, 1, True, False),   # dp strides whole nodes
+    (PLATFORM2, 3, 2, 2, True, False),   # mp == gpus_per_node, dp x-node
+    (PLATFORM2, 3, 1, 4, True, True),    # mp itself spans both nodes
+]
+
+
+class TestAxisClassification:
+    @pytest.mark.parametrize("plat,mi,dp,mp,dp_x,mp_x", GRID)
+    def test_table2_factorizations(self, plat, mi, dp, mp, dp_x, mp_x):
+        mesh = plat.mesh(mi)
+        lm = mesh.logical(dp, mp)
+        assert (lm.dp_link is mesh.inter_link) == dp_x
+        assert (lm.mp_link is mesh.inter_link) == mp_x
+
+    def test_non_dividing_mp_straddles_node(self):
+        # 2 nodes x 3 GPUs: an mp=2 group cannot divide the node width, so
+        # one of its pairs straddles the node boundary and must be priced
+        # on the inter-node fabric (the seed's device-count test got this
+        # wrong, calling it intra-node).
+        mesh = DeviceMesh(2, 3, RTX_A5500, NVLINK, TEN_GBE)
+        lm = mesh.logical(3, 2)
+        assert lm.mp_link is TEN_GBE
+        assert lm.dp_link is TEN_GBE
+        # dividing factorization on the same mesh stays intra-node
+        lm = mesh.logical(2, 3)
+        assert lm.mp_link is NVLINK
+        assert lm.dp_link is TEN_GBE
+
+    def test_paths_absent_by_default(self):
+        lm = PLATFORM2.mesh(3).logical(2, 2)
+        assert not topology_enabled()
+        assert not lm.topo_aware
+        assert lm.dp_path is None and lm.mp_path is None
+        assert not lm.key().endswith("-topo")
+
+
+# --------------------------------------------------------------------------
+# topology-aware gate
+# --------------------------------------------------------------------------
+
+class TestTopoGate:
+    def test_paths_present_when_enabled(self, topo_on):
+        mesh = PLATFORM2.mesh(3)
+        lm = mesh.logical(2, 2)
+        assert lm.topo_aware
+        assert str(lm.mp_path) == "nvlink"            # inside one node
+        assert str(lm.dp_path) == "pcie4+10gbe/2"     # NIC shared by 2 rings
+        assert lm.key().endswith("-topo")
+
+    def test_mp_spanning_nodes_includes_intra_leg(self, topo_on):
+        lm = PLATFORM2.mesh(3).logical(1, 4)
+        assert str(lm.mp_path) == "nvlink+pcie4+10gbe"
+
+    def test_cross_node_axis_priced_up(self, topo_on):
+        mesh = PLATFORM2.mesh(3)
+        lm = mesh.logical(2, 2)
+        n = 1 << 20
+        flat = allreduce_time(lm.dp_link, n, 2)
+        routed = allreduce_time(lm.dp_path, n, 2)
+        assert routed > flat
+        # the intra-node axis is unchanged
+        assert allreduce_time(lm.mp_path, n, 2) == \
+            allreduce_time(lm.mp_link, n, 2)
+
+    def test_topo_only_strategies_gated(self, topo_on):
+        node, ins = _node(lambda b: b.gather(b.param("t", (64, 32)),
+                                             b.input("i", (8,))))
+        mesh = PLATFORM2.mesh(3)
+        on = {s.name for s in node_strategies(node, ins, mesh.logical(1, 4))}
+        assert "gather[vocab@mp]" in on
+
+    def test_flat_space_has_no_topo_strategies(self):
+        node, ins = _node(lambda b: b.gather(b.param("t", (64, 32)),
+                                             b.input("i", (8,))))
+        lm = PLATFORM2.mesh(3).logical(1, 4)
+        assert not any("vocab" in s.name
+                       for s in node_strategies(node, ins, lm))
+
+    def test_moe_dispatch_strategy_appears(self, topo_on):
+        node, ins = _node(lambda b: b.einsum_contract(
+            b.input("d", (64, 8)), b.input("x", (64, 32)),
+            (4, 16, 32), 64))
+        lm = PLATFORM2.mesh(3).logical(1, 4)
+        names = {s.name for s in node_strategies(node, ins, lm)}
+        assert "dot[dispatch@mp]" in names
+        disp = next(s for s in node_strategies(node, ins, lm)
+                    if s.name == "dot[dispatch@mp]")
+        assert disp.comm_time > 0           # the token all-to-all
+        assert disp.factor == 4
+
+    def test_committed_plan_changes_on_multinode_platform(self, monkeypatch):
+        g = build_model(benchmark_config("moe", n_layers=2)).full_graph()
+        mesh = PLATFORM2.mesh(3)
+        monkeypatch.delenv("REPRO_TOPO", raising=False)
+        off = optimize_stage(g, mesh.logical(2, 2))
+        monkeypatch.setenv("REPRO_TOPO", "on")
+        on = optimize_stage(g, mesh.logical(2, 2))
+        off_names = [a.strategy.name for a in off.assignments]
+        on_names = [a.strategy.name for a in on.assignments]
+        assert off_names != on_names
+
+
+# --------------------------------------------------------------------------
+# multi-axis reshard pricing (satellite: progressive reassembly)
+# --------------------------------------------------------------------------
+
+class TestMultiAxisReshard:
+    def test_two_axis_gather_priced_progressively(self):
+        lm = PLATFORM2.mesh(3).logical(2, 2)
+        t = TensorSpec((8, 32), "float32")
+        src = ShardingSpec.shard2(0, "dp", 1, "mp")
+        n = t.nbytes
+        corrected = reshard_time(src, REPLICATED, t, lm)
+        # underpriced: both gathers charged on the pre-growth shard size —
+        # this misses that the second all-gather moves a tensor already
+        # grown by the first gather's axis; the corrected cost is strictly
+        # larger
+        underpriced = (allgather_time(lm.axis_link("dp"), n / 2, 2)
+                       + allgather_time(lm.axis_link("mp"), n / 2, 2))
+        assert corrected > underpriced
+        # ...and strictly smaller than charging every gather at final size
+        overpriced = (allgather_time(lm.axis_link("dp"), n, 2)
+                      + allgather_time(lm.axis_link("mp"), n, 2))
+        assert corrected < overpriced
+
+    def test_single_axis_unchanged(self):
+        lm = PLATFORM2.mesh(2).logical(2, 1)
+        t = TensorSpec((8, 32), "float32")
+        src = ShardingSpec.shard(0, "dp")
+        assert reshard_time(src, REPLICATED, t, lm) == pytest.approx(
+            allgather_time(lm.axis_link("dp"), t.nbytes, 2))
+
+    def test_kept_axis_not_regathered(self):
+        lm = PLATFORM2.mesh(3).logical(2, 2)
+        t = TensorSpec((8, 32), "float32")
+        src = ShardingSpec.shard2(0, "dp", 1, "mp")
+        dst = ShardingSpec.shard(0, "dp")
+        # only the mp axis is dropped; its gather runs on the dp-sharded
+        # tensor
+        assert reshard_time(src, dst, t, lm) == pytest.approx(
+            allgather_time(lm.axis_link("mp"), t.nbytes / 2, 2))
